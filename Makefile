@@ -1,0 +1,20 @@
+.PHONY: install test bench examples all
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only -s
+
+examples:
+	python examples/quickstart.py
+	python examples/evasive_attacks.py
+	python examples/browser_extension.py
+	python examples/feature_importance.py
+	python examples/historical_analysis.py
+	python examples/measurement_campaign.py --days 2 --target 150
+
+all: install test bench

@@ -1,0 +1,50 @@
+"""Extension experiment: attacker migration toward poorly-policed FWBs.
+
+Implements the paper's closing prediction (§5.1: "The lack of blocklist
+coverage for a particular FWB might entice attackers to more frequently
+abuse that service"; §5.3 makes the equivalent takedown argument). An
+adaptive attacker re-weights its FWB choice by observed attack survival;
+after a few feedback rounds, share migrates off the responsive services
+(Weebly, 000webhost, Wix) and onto the laggards.
+"""
+
+from conftest import emit
+
+from repro.config import SimulationConfig
+from repro.sim import CampaignWorld, run_adaptation_experiment
+
+RESPONSIVE = ("weebly", "000webhost", "wix")
+LAGGARDS = ("google_sites", "sharepoint", "wordpress", "firebase", "godaddysites")
+
+
+def test_adaptive_attacker_migration(benchmark):
+    world = CampaignWorld(
+        SimulationConfig(seed=41, duration_days=1, target_fwb_phishing=50),
+        train_samples_per_class=50,
+    )
+    shares = benchmark.pedantic(
+        run_adaptation_experiment,
+        args=(world,),
+        kwargs=dict(n_rounds=5, launches_per_round=200),
+        rounds=1,
+        iterations=1,
+    )
+    first, last = shares[0], shares[-1]
+    lines = ["service        initial -> final share"]
+    for name in sorted(first, key=lambda n: -first[n])[:10]:
+        marker = (
+            " (responsive)" if name in RESPONSIVE
+            else " (laggard)" if name in LAGGARDS else ""
+        )
+        lines.append(f"{name:14s} {first[name]:.3f} -> {last[name]:.3f}{marker}")
+    responsive_before = sum(first[n] for n in RESPONSIVE)
+    responsive_after = sum(last[n] for n in RESPONSIVE)
+    laggard_before = sum(first[n] for n in LAGGARDS)
+    laggard_after = sum(last[n] for n in LAGGARDS)
+    lines.append("")
+    lines.append(f"responsive trio mass: {responsive_before:.2f} -> {responsive_after:.2f}")
+    lines.append(f"laggard-five mass:    {laggard_before:.2f} -> {laggard_after:.2f}")
+    emit("Extension — adaptive attacker migration", "\n".join(lines))
+
+    assert responsive_after < responsive_before * 0.6
+    assert laggard_after > laggard_before

@@ -1,0 +1,36 @@
+"""Figure 8: engine-detection progression over seven days.
+
+Paper: ~75-82% of FWB URLs sit at ≤2 detections on day one and ~41-43%
+remain at ≤4 after a week; self-hosted URLs start near 32-34% at ≤2 and end
+with only 8-11% at ≤4 — i.e., FWB URLs accrue detections far more slowly.
+"""
+
+from conftest import emit
+
+from repro.analysis import build_fig8
+from repro.analysis.report import render_figure
+
+
+def test_fig8_daily_detections(benchmark, bench_campaign):
+    _world, result = bench_campaign
+    figure = benchmark(build_fig8, result.timelines)
+    emit("Figure 8 — share of URLs at/below k detections per day", render_figure(figure))
+
+    days = figure.x_values
+
+    def at(series, day):
+        return figure.series[series][days.index(day)]
+
+    # Day 1: most FWB URLs still nearly undetected; self-hosted far fewer.
+    assert at("fwb_le_2", 1) > at("self_hosted_le_2", 1) + 0.3
+
+    # Day 7: a large share of FWB URLs remain at <=4 detections, while
+    # almost all self-hosted URLs have passed that bar.
+    assert at("fwb_le_4", 7) > 0.3
+    assert at("self_hosted_le_4", 7) < 0.25
+    assert at("fwb_le_4", 7) > at("self_hosted_le_4", 7) + 0.25
+
+    # Shares at a fixed threshold only fall over time.
+    for key in ("fwb_le_2", "self_hosted_le_2", "fwb_le_4", "self_hosted_le_4"):
+        series = figure.series[key]
+        assert all(a >= b - 1e-9 for a, b in zip(series, series[1:])), key

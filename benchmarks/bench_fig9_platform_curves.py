@@ -1,0 +1,34 @@
+"""Figure 9: platform post-removal curves, FWB vs self-hosted.
+
+Paper reference points (3 h): Twitter removes ~32% of self-hosted posts vs
+~10% of FWB posts; Facebook ~47% vs ~6%. By 16 h Twitter passes 70% of
+self-hosted while FWB lingers near 21%.
+"""
+
+from conftest import emit
+
+from repro.analysis import build_fig9
+from repro.analysis.report import render_figure
+
+
+def test_fig9_platform_curves(benchmark, bench_campaign):
+    _world, result = bench_campaign
+    figure = benchmark(build_fig9, result.timelines)
+    emit("Figure 9 — platform removal over time", render_figure(figure))
+
+    hours = figure.x_values
+
+    def at(series, hour):
+        return figure.series[series][hours.index(hour)]
+
+    # Both platforms act much faster on self-hosted phishing.
+    for platform in ("twitter", "facebook"):
+        assert at(f"{platform}_self_hosted", 3) > at(f"{platform}_fwb", 3) + 0.15
+        assert at(f"{platform}_self_hosted", 16) > at(f"{platform}_fwb", 16) + 0.25
+
+    # FWB posts persist: under ~40% removed even after a week.
+    assert at("twitter_fwb", 168) < 0.45
+    assert at("facebook_fwb", 168) < 0.45
+
+    # Self-hosted posts largely gone within the week.
+    assert at("twitter_self_hosted", 168) > 0.5

@@ -1,0 +1,49 @@
+"""Table 3: blocklist / platform / host performance, FWB vs self-hosted.
+
+Paper (coverage, median response):
+  PhishTank  FWB  4.1% 07:11   self 17.4% 02:30
+  OpenPhish  FWB 11.7% 13:20   self 30.5% 02:21
+  GSB        FWB 18.4% 06:01   self 74.2% 00:51
+  eCrimeX    FWB 32.9% 08:54   self 47.9% 04:26
+  Platform   FWB 23.1% 10:25   self 50.9% 03:41
+  Host       FWB 29.4% 09:43   self 77.5% 03:47
+"""
+
+from conftest import emit
+
+from repro.analysis import build_table3
+from repro.analysis.report import render_table3
+
+
+def test_table3_blocklists(benchmark, bench_campaign):
+    _world, result = bench_campaign
+    rows = benchmark(build_table3, result.timelines)
+    emit("Table 3 — anti-phishing entity performance", render_table3(rows))
+
+    stats = {row.entity: row for row in rows}
+
+    # Every entity covers self-hosted phishing far better than FWB phishing.
+    for entity in ("phishtank", "openphish", "gsb", "ecrimex", "platform", "domain"):
+        row = stats[entity]
+        assert row.self_hosted.coverage > row.fwb.coverage, entity
+        # Response-time ordering holds for every entity except hosting-
+        # domain removal: there the paper's own tables disagree (Table 3
+        # reports a 9:43 FWB median, but Table 4's per-FWB medians —
+        # Weebly 1:39, 000webhost 0:45 on ~41% of all URLs — imply a fast
+        # weighted median). Our emergent result follows Table 4.
+        if entity == "domain":
+            continue
+        if row.fwb.median_minutes and row.self_hosted.median_minutes:
+            assert row.fwb.median_minutes > row.self_hosted.median_minutes, entity
+
+    # Blocklist ordering on FWB attacks: PhishTank worst, eCrimeX broadest.
+    assert stats["phishtank"].fwb.coverage < stats["openphish"].fwb.coverage
+    assert stats["gsb"].fwb.coverage < stats["ecrimex"].fwb.coverage
+
+    # Rough magnitudes (generous bands around the paper's percentages).
+    assert stats["phishtank"].fwb.coverage < 0.10
+    assert 0.08 < stats["gsb"].fwb.coverage < 0.30
+    assert 0.60 < stats["gsb"].self_hosted.coverage < 0.90
+    assert 0.15 < stats["ecrimex"].fwb.coverage < 0.45
+    assert 0.15 < stats["platform"].fwb.coverage < 0.40
+    assert 0.60 < stats["domain"].self_hosted.coverage < 0.95

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Which features make the FreePhish classifier work?
+
+Trains the augmented model on a ground-truth corpus and ranks every feature
+by permutation importance — showing that the paper's two FWB-specific
+additions (obfuscated banner, noindex) carry real weight, and that the two
+features it dropped (https, multi-TLD) would have carried none.
+
+Run:  python examples/feature_importance.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import build_ground_truth
+from repro.core.features import BASE_FEATURE_NAMES, FWB_FEATURE_NAMES
+from repro.ml import RandomForestClassifier, permutation_importance, train_test_split
+
+
+def rank(names, dataset, title: str) -> None:
+    X, y = dataset.split_arrays(names)
+    Xtr, Xte, ytr, yte = train_test_split(X, y, test_size=0.3, random_state=7)
+    model = RandomForestClassifier(n_estimators=60, random_state=7).fit(Xtr, ytr)
+    accuracy = float(np.mean(model.predict(Xte) == yte))
+    results = permutation_importance(
+        model, Xte, yte, feature_names=names, n_repeats=8, random_state=7
+    )
+    print(f"{title}  (held-out accuracy {accuracy:.3f})")
+    for item in results[:10]:
+        bar = "#" * max(1, int(item.importance * 200))
+        print(f"  {item.feature:24s} {item.importance:+.3f} +/- {item.std:.3f}  {bar}")
+    near_zero = [r.feature for r in results if abs(r.importance) < 0.002]
+    print(f"  (near-zero: {', '.join(near_zero)})\n")
+
+
+def main() -> None:
+    dataset = build_ground_truth(n_per_class=300, seed=11)
+    rank(FWB_FEATURE_NAMES, dataset, "Augmented feature set (ours)")
+    rank(BASE_FEATURE_NAMES, dataset, "Base StackModel feature set")
+    print("Note how `has_https` and `n_tld_tokens` contribute nothing on FWB")
+    print("data (every FWB site is https with one TLD), while the two")
+    print("replacements surface in the augmented ranking — §4.2's argument.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""A scaled-down replica of the paper's six-month measurement campaign.
+
+Runs the full FreePhish loop — streaming from simulated Twitter/Facebook
+every 10 minutes, snapshotting, classifying, reporting to abuse desks, and
+longitudinally monitoring four blocklists, 76 VirusTotal engines, host
+takedowns, and platform moderation — then prints Tables 3 & 4 and the
+headline figures.
+
+Run:  python examples/measurement_campaign.py [--days N] [--target N]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import CampaignWorld, SimulationConfig
+from repro.analysis import (
+    build_fig9,
+    build_table3,
+    build_table4,
+)
+from repro.analysis.report import render_figure, render_table3, render_table4
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--days", type=int, default=5,
+                        help="campaign length in simulated days")
+    parser.add_argument("--target", type=int, default=600,
+                        help="number of FWB phishing URLs to generate")
+    parser.add_argument("--seed", type=int, default=20231024)
+    args = parser.parse_args()
+
+    config = SimulationConfig(
+        seed=args.seed,
+        duration_days=args.days,
+        target_fwb_phishing=args.target,
+    )
+    print(f"running {args.days}-day campaign "
+          f"(~{args.target} FWB + ~{args.target} self-hosted attacks)...")
+    world = CampaignWorld(config, train_samples_per_class=180)
+    result = world.run(verbose=True)
+
+    print(f"\nstream observations : {result.observations}")
+    print(f"classifier detections: {result.detections}")
+    print(f"FWB URLs tracked     : {len(result.fwb_timelines)}")
+    print(f"self-hosted tracked  : {len(result.self_hosted_timelines)}")
+
+    print("\n" + render_table3(build_table3(result.timelines)))
+    print("\n" + render_table4(build_table4(result.timelines)))
+    print("\n" + render_figure(build_fig9(result.timelines)))
+
+    fwb_vt = [t.vt_final() for t in result.fwb_timelines]
+    self_vt = [t.vt_final() for t in result.self_hosted_timelines]
+    print(f"\nVirusTotal detections after one week (median): "
+          f"FWB {np.median(fwb_vt):.0f} vs self-hosted {np.median(self_vt):.0f}")
+
+    rates = world.reporting.response_rates_by_fwb()
+    print("\nabuse-desk report outcomes (share resolved / acknowledged / silent):")
+    for fwb, buckets in sorted(rates.items()):
+        print(f"  {fwb:14s} resolved {buckets.get('resolved', 0):.2f}  "
+              f"ack {buckets.get('acknowledged', 0):.2f}  "
+              f"silent {buckets.get('no_response', 0):.2f}")
+
+
+if __name__ == "__main__":
+    main()

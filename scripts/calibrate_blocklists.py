@@ -1,0 +1,37 @@
+"""Calibration harness: compare blocklist behaviour against Table 3 targets.
+
+Run after changing DEFAULT_BEHAVIORS or the suspicion weights:
+    python scripts/calibrate_blocklists.py
+"""
+import numpy as np
+from repro.simnet import Web, Browser
+from repro.sitegen import LegitimateSiteGenerator, PhishingSiteGenerator, PhishingKitGenerator
+from repro.ecosystem import IntelService, default_blocklists
+from repro.config import minutes_to_hhmm
+
+rng = np.random.default_rng(3)
+web = Web(); browser = Browser(web)
+leg, ph, kit = LegitimateSiteGenerator(), PhishingSiteGenerator(), PhishingKitGenerator()
+svc = IntelService(web, browser)
+bls = default_blocklists(svc, seed=1)
+
+fwb_sites = []
+for name, prov in web.fwb_providers.items():
+    n = max(2, prov.service.attacker_weight // 60)
+    for _ in range(n):
+        fwb_sites.append(ph.create_site(prov, now=10, rng=rng))
+self_sites = [kit.create_site(web.self_hosting, now=10, rng=rng) for _ in range(len(fwb_sites))]
+
+WEEK = 7*24*60
+targets = {('FWB','gsb'):(18.4,'06:01'),('FWB','phishtank'):(4.1,'07:11'),('FWB','openphish'):(11.7,'13:20'),('FWB','ecrimex'):(32.9,'08:54'),
+           ('SELF','gsb'):(74.2,'00:51'),('SELF','phishtank'):(17.4,'02:30'),('SELF','openphish'):(30.5,'02:21'),('SELF','ecrimex'):(47.9,'04:26')}
+for group, sites in [('FWB', fwb_sites), ('SELF', self_sites)]:
+    for name, bl in bls.items():
+        for s in sites:
+            bl.observe(s.root_url, now=60)
+        times = [bl.listing_time(s.root_url) for s in sites]
+        listed = [t-60 for t in times if t is not None and t-60 <= WEEK]
+        cov = len(listed)/len(sites)
+        med = minutes_to_hhmm(np.median(listed)) if listed else 'n/a'
+        tc, tm = targets[(group, name)]
+        print(f'{group} {name:10s} coverage {cov*100:5.1f}% (target {tc:5.1f})  median {med} (target {tm})')

@@ -1,0 +1,63 @@
+"""Measurement post-processing: the paper's tables and figures.
+
+:mod:`repro.analysis.coverage` computes coverage/response-time statistics
+from URL timelines; :mod:`repro.analysis.tables` builds Tables 1-4;
+:mod:`repro.analysis.figures` builds the series behind Figures 1 and 5-9;
+:mod:`repro.analysis.report` renders everything as text.
+"""
+
+from .stats import (
+    cohens_kappa,
+    empirical_cdf,
+    median_or_none,
+    coverage_fraction,
+)
+from .coverage import CoverageStats, coverage_stats, coverage_over_time
+from .tables import (
+    Table1Row,
+    Table2Row,
+    Table3Row,
+    Table4Row,
+    build_table1,
+    build_table2,
+    build_table3,
+    build_table4,
+)
+from .figures import (
+    build_fig1,
+    build_fig5,
+    build_fig6,
+    build_fig7,
+    build_fig8,
+    build_fig9,
+)
+from .characterization import CharacterizationReport, characterize
+from .report import format_table, render_rows
+
+__all__ = [
+    "cohens_kappa",
+    "empirical_cdf",
+    "median_or_none",
+    "coverage_fraction",
+    "CoverageStats",
+    "coverage_stats",
+    "coverage_over_time",
+    "Table1Row",
+    "Table2Row",
+    "Table3Row",
+    "Table4Row",
+    "build_table1",
+    "build_table2",
+    "build_table3",
+    "build_table4",
+    "build_fig1",
+    "build_fig5",
+    "build_fig6",
+    "build_fig7",
+    "build_fig8",
+    "build_fig9",
+    "CharacterizationReport",
+    "characterize",
+    "format_table",
+    "render_rows",
+]

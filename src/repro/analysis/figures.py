@@ -1,0 +1,157 @@
+"""Builders for the series behind Figures 1 and 5-9.
+
+Each builder returns plain data structures (labels + numeric series) that
+the benchmarks print and tests assert on; no plotting dependency.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.monitor import UrlTimeline
+from ..sim.scenario import HistoricalScenario, QuarterSeries
+from .coverage import coverage_over_time, split_fwb_self
+from .stats import empirical_cdf
+
+#: Hour grid used by the Figure 6 / Figure 9 curves (up to one week).
+HOUR_GRID: Tuple[float, ...] = (1, 3, 6, 12, 16, 24, 48, 72, 96, 120, 144, 168)
+
+
+@dataclass
+class SeriesFigure:
+    """A generic labelled multi-series figure."""
+
+    title: str
+    x_label: str
+    x_values: List
+    series: Dict[str, List[float]] = field(default_factory=dict)
+
+
+# -- Figure 1: historical distribution ------------------------------------------
+
+
+def build_fig1(scenario: Optional[HistoricalScenario] = None) -> SeriesFigure:
+    """Quarterly FWB phishing counts on Twitter/Facebook, 2020-2022."""
+    scenario = scenario if scenario is not None else HistoricalScenario()
+    quarters: QuarterSeries = scenario.generate()
+    figure = SeriesFigure(
+        title="Fig.1 FWB phishing shared on Twitter and Facebook (Jan 2020 - Aug 2022)",
+        x_label="quarter",
+        x_values=list(quarters.labels),
+    )
+    figure.series["twitter"] = [float(v) for v in quarters.twitter]
+    figure.series["facebook"] = [float(v) for v in quarters.facebook]
+    return figure
+
+
+# -- Figure 5: targeted organizations ---------------------------------------------
+
+
+def build_fig5(
+    brand_slugs: Sequence[Optional[str]],
+    top_n: int = 15,
+) -> SeriesFigure:
+    """Histogram of the most frequently imitated brands."""
+    counts = Counter(slug for slug in brand_slugs if slug)
+    top = counts.most_common(top_n)
+    figure = SeriesFigure(
+        title="Fig.5 Targeted organizations",
+        x_label="brand",
+        x_values=[slug for slug, _count in top],
+    )
+    figure.series["attacks"] = [float(count) for _slug, count in top]
+    figure.series["unique_brands_total"] = [float(len(counts))] * len(top)
+    return figure
+
+
+# -- Figure 6: blocklist coverage over time -----------------------------------------
+
+
+def build_fig6(timelines: Sequence[UrlTimeline]) -> SeriesFigure:
+    """Blocklist coverage curves, FWB vs self-hosted (hours since seen)."""
+    groups = split_fwb_self(timelines)
+    figure = SeriesFigure(
+        title="Fig.6 Coverage and speed of blocklists",
+        x_label="hours",
+        x_values=list(HOUR_GRID),
+    )
+    for blocklist in ("gsb", "phishtank", "openphish", "ecrimex"):
+        for kind, subset in groups.items():
+            figure.series[f"{blocklist}_{kind}"] = coverage_over_time(
+                subset, blocklist, HOUR_GRID
+            )
+    return figure
+
+
+# -- Figure 7: cumulative distribution of engine detections --------------------------
+
+
+def build_fig7(
+    timelines: Sequence[UrlTimeline],
+    max_detections: int = 30,
+) -> SeriesFigure:
+    """CDF of one-week VirusTotal detections per hosting type + platform."""
+    grid = list(range(0, max_detections + 1))
+    figure = SeriesFigure(
+        title="Fig.7 Cumulative distribution of anti-phishing detections",
+        x_label="detections after one week",
+        x_values=grid,
+    )
+    for kind, subset in split_fwb_self(timelines).items():
+        for platform in ("twitter", "facebook"):
+            values = [
+                t.vt_final() for t in subset if t.platform == platform
+            ]
+            figure.series[f"{kind}_{platform}"] = empirical_cdf(values, grid)
+    return figure
+
+
+# -- Figure 8: daily detection progression --------------------------------------------
+
+
+def build_fig8(
+    timelines: Sequence[UrlTimeline],
+    thresholds: Sequence[int] = (2, 4, 8),
+) -> SeriesFigure:
+    """Share of URLs at or below k detections, per day over a week."""
+    days = list(range(1, 8))
+    figure = SeriesFigure(
+        title="Fig.8 Detections by anti-phishing engines over seven days",
+        x_label="day",
+        x_values=days,
+    )
+    for kind, subset in split_fwb_self(timelines).items():
+        for threshold in thresholds:
+            series = []
+            for day in days:
+                offset = day * 24 * 60
+                counts = [t.vt_at(offset) for t in subset]
+                series.append(
+                    float(np.mean([c <= threshold for c in counts]))
+                    if counts else 0.0
+                )
+            figure.series[f"{kind}_le_{threshold}"] = series
+    return figure
+
+
+# -- Figure 9: platform removal curves --------------------------------------------------
+
+
+def build_fig9(timelines: Sequence[UrlTimeline]) -> SeriesFigure:
+    """Platform post-removal coverage over time, per platform + hosting."""
+    figure = SeriesFigure(
+        title="Fig.9 Coverage and speed of platforms",
+        x_label="hours",
+        x_values=list(HOUR_GRID),
+    )
+    for kind, subset in split_fwb_self(timelines).items():
+        for platform in ("twitter", "facebook"):
+            matching = [t for t in subset if t.platform == platform]
+            figure.series[f"{platform}_{kind}"] = coverage_over_time(
+                matching, "platform", HOUR_GRID
+            )
+    return figure

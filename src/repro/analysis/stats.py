@@ -1,0 +1,116 @@
+"""Statistical utilities shared by the table/figure builders."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError
+
+
+def median_or_none(values: Sequence[float]) -> Optional[float]:
+    """Median of a possibly-empty sequence."""
+    values = [v for v in values if v is not None]
+    if not values:
+        return None
+    return float(np.median(values))
+
+
+def coverage_fraction(offsets: Iterable[Optional[int]]) -> float:
+    """Fraction of non-``None`` entries (detected / removed within window)."""
+    offsets = list(offsets)
+    if not offsets:
+        return 0.0
+    return sum(1 for o in offsets if o is not None) / len(offsets)
+
+
+def empirical_cdf(values: Sequence[float], grid: Sequence[float]) -> List[float]:
+    """P(X <= g) for each grid point ``g``."""
+    data = np.sort(np.asarray(values, dtype=np.float64))
+    if data.size == 0:
+        return [0.0 for _ in grid]
+    return [float(np.searchsorted(data, g, side="right") / data.size) for g in grid]
+
+
+def cohens_kappa(labels_a: Sequence[int], labels_b: Sequence[int]) -> float:
+    """Cohen's kappa inter-rater agreement for two label sequences.
+
+    The paper reports κ = 0.78 for its two coders over the 5K sample (§3).
+    """
+    a = np.asarray(labels_a)
+    b = np.asarray(labels_b)
+    if a.shape != b.shape or a.size == 0:
+        raise ConfigError("label sequences must be equal-length and non-empty")
+    categories = np.union1d(np.unique(a), np.unique(b))
+    n = a.size
+    observed = float(np.mean(a == b))
+    expected = 0.0
+    for category in categories:
+        expected += float(np.mean(a == category)) * float(np.mean(b == category))
+    if expected >= 1.0:
+        return 1.0
+    return (observed - expected) / (1.0 - expected)
+
+
+def survival_at(
+    offsets: Sequence[Optional[int]], horizon_minutes: float
+) -> float:
+    """Fraction still *undetected/unremoved* at ``horizon_minutes``."""
+    offsets = list(offsets)
+    if not offsets:
+        return 1.0
+    hit = sum(1 for o in offsets if o is not None and o <= horizon_minutes)
+    return 1.0 - hit / len(offsets)
+
+
+def min_max(values: Sequence[Optional[int]]) -> Tuple[Optional[int], Optional[int]]:
+    """(min, max) over non-``None`` entries."""
+    present = [v for v in values if v is not None]
+    if not present:
+        return None, None
+    return min(present), max(present)
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    statistic=np.mean,
+    confidence: float = 0.95,
+    n_resamples: int = 1000,
+    seed: int = 0,
+) -> Tuple[float, float]:
+    """Percentile-bootstrap confidence interval for any statistic.
+
+    Used to put uncertainty bands on scaled-down campaign measurements —
+    a 1/40-scale run's coverage estimate carries sampling error the paper's
+    31K-URL study does not.
+    """
+    data = np.asarray(list(values), dtype=np.float64)
+    if data.size == 0:
+        raise ConfigError("cannot bootstrap an empty sample")
+    if not 0.0 < confidence < 1.0:
+        raise ConfigError("confidence must lie in (0, 1)")
+    rng = np.random.default_rng(seed)
+    stats = np.empty(n_resamples)
+    for i in range(n_resamples):
+        resample = data[rng.integers(0, data.size, size=data.size)]
+        stats[i] = statistic(resample)
+    alpha = (1.0 - confidence) / 2.0
+    return (
+        float(np.quantile(stats, alpha)),
+        float(np.quantile(stats, 1.0 - alpha)),
+    )
+
+
+def coverage_ci(
+    offsets: Sequence[Optional[int]],
+    confidence: float = 0.95,
+    n_resamples: int = 1000,
+    seed: int = 0,
+) -> Tuple[float, float]:
+    """Bootstrap CI on a coverage fraction (None = not detected)."""
+    indicator = [0.0 if offset is None else 1.0 for offset in offsets]
+    return bootstrap_ci(
+        indicator, statistic=np.mean, confidence=confidence,
+        n_resamples=n_resamples, seed=seed,
+    )

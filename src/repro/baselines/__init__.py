@@ -1,0 +1,30 @@
+"""Comparison detectors for the model-selection experiment (Table 2).
+
+Re-implementations, at simulation scale, of the four models the paper
+benchmarked before choosing its base:
+
+* :mod:`repro.baselines.urlnet` — URLNet (Le et al. 2018): character-level
+  CNN over the URL string only. Fastest, weakest on FWB data.
+* :mod:`repro.baselines.visualphishnet` — VisualPhishNet (Abdelnabi et al.
+  2020): visual-similarity matching against a protected-brand gallery.
+* :mod:`repro.baselines.phishintention` — PhishIntention (Liu et al. 2022):
+  two-phase static + dynamic analysis of the page workflow. Most accurate,
+  slowest.
+* :mod:`repro.baselines.stackmodel` — the base StackModel (Li et al. 2019)
+  on the original 20-feature set, before the paper's FWB augmentation.
+
+All expose the same interface: ``fit_pages(pages, labels)`` and
+``predict_page(page) -> int``.
+"""
+
+from .stackmodel import BaseStackModelDetector
+from .urlnet import URLNetDetector
+from .visualphishnet import VisualPhishNetDetector
+from .phishintention import PhishIntentionDetector
+
+__all__ = [
+    "BaseStackModelDetector",
+    "URLNetDetector",
+    "VisualPhishNetDetector",
+    "PhishIntentionDetector",
+]

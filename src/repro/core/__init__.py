@@ -1,0 +1,48 @@
+"""FreePhish: the paper's primary contribution.
+
+Five cooperating modules (paper Figure 4):
+
+1. :mod:`repro.core.streaming` — polls the social platforms every 10
+   minutes for posts containing FWB URLs;
+2. :mod:`repro.core.preprocess` — snapshots each website and extracts the
+   URL/HTML/FWB feature set (:mod:`repro.core.features`);
+3. :mod:`repro.core.classifier` — the augmented StackModel;
+4. :mod:`repro.core.reporting` — files abuse reports with the hosting FWB
+   and the social platform;
+5. :mod:`repro.core.monitor` — longitudinally measures blocklists, browser
+   protection tools, FWB takedowns, and platform moderation.
+
+:class:`repro.core.framework.FreePhish` wires them together;
+:mod:`repro.core.extension` is the browser-extension navigation guard.
+"""
+
+from .features import (
+    BASE_FEATURE_NAMES,
+    FWB_FEATURE_NAMES,
+    FeatureExtractor,
+)
+from .preprocess import Preprocessor, ProcessedPage
+from .classifier import FreePhishClassifier
+from .streaming import StreamingModule, StreamObservation
+from .reporting import ReportingModule, AbuseReport
+from .monitor import AnalysisModule, UrlTimeline
+from .framework import FreePhish
+from .extension import FreePhishExtension, NavigationVerdict
+
+__all__ = [
+    "BASE_FEATURE_NAMES",
+    "FWB_FEATURE_NAMES",
+    "FeatureExtractor",
+    "Preprocessor",
+    "ProcessedPage",
+    "FreePhishClassifier",
+    "StreamingModule",
+    "StreamObservation",
+    "ReportingModule",
+    "AbuseReport",
+    "AnalysisModule",
+    "UrlTimeline",
+    "FreePhish",
+    "FreePhishExtension",
+    "NavigationVerdict",
+]

@@ -1,0 +1,241 @@
+"""URL, HTML, and FWB-specific feature extraction (paper §4.2).
+
+The base StackModel (Li et al. 2019) uses 8 URL-based and 12 HTML-based
+features. Two of those — the presence of ``https`` and multiple TLD tokens
+— carry no signal for FWB-hosted pages (every FWB site is https with a
+single TLD), so the paper's augmented model drops them and adds two
+FWB-specific features:
+
+* **Obfuscated FWB banner** — free-tier sites carry a service banner;
+  phishers hide it with ``visibility:hidden``-style tricks;
+* **Preventing indexing** — a ``noindex`` robots directive keeps the page
+  out of search indexes that anti-phishing crawlers mine.
+
+``FeatureExtractor`` emits both variants from a single page snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..errors import FeatureError
+from ..sitegen.brands import BrandCatalog, default_brand_catalog
+from ..simnet.browser import PageSnapshot
+from ..simnet.url import (
+    URL,
+    URLStringStats,
+    count_sensitive_words,
+    count_suspicious_symbols,
+)
+from ..webdoc import Document, parse_html
+
+#: Feature order of the base StackModel (8 URL + 12 HTML).
+BASE_FEATURE_NAMES: Tuple[str, ...] = (
+    # URL-based (8)
+    "url_length",
+    "n_suspicious_symbols",
+    "n_sensitive_words",
+    "brand_in_url",
+    "n_dots",
+    "n_digits",
+    "has_https",
+    "n_tld_tokens",
+    # HTML-based (12)
+    "n_internal_links",
+    "n_external_links",
+    "n_empty_links",
+    "has_login_form",
+    "n_password_fields",
+    "n_credential_inputs",
+    "html_length",
+    "n_iframes",
+    "n_forms",
+    "n_images",
+    "external_form_action",
+    "title_brand_mismatch",
+)
+
+#: The augmented model: https / multi-TLD replaced by the FWB pair.
+FWB_FEATURE_NAMES: Tuple[str, ...] = tuple(
+    name for name in BASE_FEATURE_NAMES if name not in ("has_https", "n_tld_tokens")
+) + ("obfuscated_fwb_banner", "has_noindex")
+
+_TLD_TOKENS = (".com", ".net", ".org", ".info", ".xyz", ".top", ".live", ".io", ".me", ".app", ".site")
+
+_BANNER_CLASS_HINT = "fwb-banner"
+_BANNER_TEXT_HINTS = (
+    "powered by", "create your own", "create a free website", "made with",
+    "report abuse", "blog at", "free website",
+)
+
+
+@dataclass
+class PageFeatures:
+    """All raw feature values for one page; views select model variants."""
+
+    values: Dict[str, float]
+
+    def vector(self, names: Sequence[str]) -> np.ndarray:
+        try:
+            return np.asarray([self.values[name] for name in names], dtype=np.float64)
+        except KeyError as exc:
+            raise FeatureError(f"unknown feature requested: {exc}") from exc
+
+    @property
+    def base_vector(self) -> np.ndarray:
+        return self.vector(BASE_FEATURE_NAMES)
+
+    @property
+    def fwb_vector(self) -> np.ndarray:
+        return self.vector(FWB_FEATURE_NAMES)
+
+
+class FeatureExtractor:
+    """Extracts :class:`PageFeatures` from a URL + page snapshot/markup."""
+
+    def __init__(self, catalog: Optional[BrandCatalog] = None) -> None:
+        self.catalog = catalog if catalog is not None else default_brand_catalog()
+        self._brand_tokens: List[Tuple[str, str]] = []
+        for brand in self.catalog:
+            for token in brand.tokens():
+                if len(token) >= 4:
+                    self._brand_tokens.append((token, brand.legitimate_domain))
+
+    # -- URL features ------------------------------------------------------------
+
+    def _brand_token_in(self, text: str) -> Optional[Tuple[str, str]]:
+        text = text.lower()
+        for token, legit_domain in self._brand_tokens:
+            if token in text:
+                return token, legit_domain
+        return None
+
+    def _url_features(self, url: URL) -> Dict[str, float]:
+        stats = URLStringStats.of(url)
+        text = str(url).lower()
+        brand_hit = self._brand_token_in(url.host + url.path)
+        return {
+            "url_length": float(stats.length),
+            "n_suspicious_symbols": float(stats.n_suspicious),
+            "n_sensitive_words": float(stats.n_sensitive),
+            "brand_in_url": 1.0 if brand_hit is not None else 0.0,
+            "n_dots": float(stats.n_dots),
+            "n_digits": float(stats.n_digits),
+            "has_https": 1.0 if url.scheme == "https" else 0.0,
+            "n_tld_tokens": float(sum(text.count(token) for token in _TLD_TOKENS)),
+        }
+
+    # -- HTML features -------------------------------------------------------------
+
+    @staticmethod
+    def _banner_elements(document: Document) -> List:
+        def looks_like_banner(element) -> bool:
+            if _BANNER_CLASS_HINT in element.classes or element.id == "fwb-banner":
+                return True
+            if element.tag in ("div", "footer"):
+                text = element.text_content().lower()
+                return any(hint in text for hint in _BANNER_TEXT_HINTS)
+            return False
+
+        return document.root.find_all(predicate=looks_like_banner)
+
+    def _html_features(self, url: URL, document: Document, markup: str) -> Dict[str, float]:
+        internal = external = empty = 0
+        for anchor in document.links():
+            href = anchor.get("href").strip()
+            if not href or href in ("#", "javascript:void(0)"):
+                empty += 1
+            elif href.startswith(("http://", "https://")):
+                target_host = href.split("//", 1)[1].split("/", 1)[0].lower()
+                # Same registrable domain counts as internal: an FWB site
+                # linking to its host's apex is not an outbound link.
+                if target_host.endswith(url.registered_domain):
+                    internal += 1
+                else:
+                    external += 1
+            else:
+                internal += 1
+
+        forms = document.forms()
+        password_fields = document.password_inputs()
+        credential_inputs = document.credential_inputs()
+        has_login_form = 0.0
+        external_action = 0.0
+        for form in forms:
+            inputs = form.find_all("input")
+            types = {i.get("type").lower() for i in inputs}
+            if "password" in types or len(credential_inputs) >= 2:
+                has_login_form = 1.0
+            action = form.get("action").strip()
+            if action.startswith(("http://", "https://")) and url.host not in action:
+                external_action = 1.0
+
+        title = document.title.lower()
+        brand_hit = self._brand_token_in(title)
+        mismatch = 0.0
+        if brand_hit is not None:
+            _token, legit_domain = brand_hit
+            legit_core = legit_domain.split(".")[0]
+            # Compare against the registrable domain only: a brand token
+            # smuggled into the *subdomain* does not legitimize the host.
+            if legit_core not in url.registered_domain:
+                mismatch = 1.0
+
+        banners = self._banner_elements(document)
+        # Either hiding mechanism counts: inline visibility/display styles
+        # (the paper's example) or an injected stylesheet rule.
+        obfuscated = any(document.is_element_hidden(b) for b in banners)
+
+        return {
+            "n_internal_links": float(internal),
+            "n_external_links": float(external),
+            "n_empty_links": float(empty),
+            "has_login_form": has_login_form,
+            "n_password_fields": float(len(password_fields)),
+            "n_credential_inputs": float(len(credential_inputs)),
+            "html_length": float(len(markup)),
+            "n_iframes": float(len(document.iframes())),
+            "n_forms": float(len(forms)),
+            "n_images": float(len(document.find_all("img"))),
+            "external_form_action": external_action,
+            "title_brand_mismatch": mismatch,
+            "obfuscated_fwb_banner": 1.0 if obfuscated else 0.0,
+            "has_noindex": 1.0 if document.has_noindex() else 0.0,
+        }
+
+    # -- public API ------------------------------------------------------------------
+
+    def extract(
+        self,
+        url: URL,
+        page: Union[PageSnapshot, Document, str],
+    ) -> PageFeatures:
+        """Extract every feature from a page.
+
+        ``page`` may be a browser snapshot, a parsed document, or raw
+        markup; snapshots are the framework's normal path.
+        """
+        if isinstance(page, PageSnapshot):
+            document, markup = page.document, page.markup
+        elif isinstance(page, Document):
+            document, markup = page, page.to_html()
+        elif isinstance(page, str):
+            document, markup = parse_html(page), page
+        else:
+            raise FeatureError(
+                f"unsupported page type: {type(page).__name__}"
+            )
+        values = self._url_features(url)
+        values.update(self._html_features(url, document, markup))
+        return PageFeatures(values=values)
+
+    def extract_matrix(
+        self,
+        pairs: Sequence[Tuple[URL, Union[PageSnapshot, Document, str]]],
+        names: Sequence[str] = FWB_FEATURE_NAMES,
+    ) -> np.ndarray:
+        """Feature matrix for a batch of (url, page) pairs."""
+        return np.vstack([self.extract(url, page).vector(names) for url, page in pairs])

@@ -1,0 +1,113 @@
+"""The assembled FreePhish framework (paper Figure 4).
+
+``FreePhish.step`` executes one 10-minute cycle: poll both social streams,
+snapshot and featurize every new URL, classify, report the positives to the
+hosting service and the platform, and enrol them in longitudinal
+monitoring. ``run`` drives the cycle across a time window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..config import STREAM_INTERVAL_MINUTES
+from ..simnet.web import Web
+from .classifier import FreePhishClassifier
+from .monitor import AnalysisModule
+from .preprocess import Preprocessor, ProcessedPage
+from .reporting import ReportingModule
+from .streaming import StreamingModule, StreamObservation
+
+
+@dataclass
+class DetectionRecord:
+    """One classifier-positive URL, with its provenance."""
+
+    observation: StreamObservation
+    page: ProcessedPage
+    probability: float
+    detected_at: int
+
+
+@dataclass
+class FrameworkStats:
+    """Run counters."""
+
+    polls: int = 0
+    observations: int = 0
+    fwb_observations: int = 0
+    unreachable: int = 0
+    detections: int = 0
+    reports_filed: int = 0
+
+
+class FreePhish:
+    """Streaming → preprocessing → classification → reporting → analysis."""
+
+    def __init__(
+        self,
+        web: Web,
+        streaming: StreamingModule,
+        preprocessor: Preprocessor,
+        classifier: FreePhishClassifier,
+        reporting: ReportingModule,
+        analysis: AnalysisModule,
+        #: Track only FWB-hosted URLs (the paper's main dataset); the
+        #: self-hosted comparison stream is collected separately.
+        fwb_only: bool = True,
+    ) -> None:
+        self.web = web
+        self.streaming = streaming
+        self.preprocessor = preprocessor
+        self.classifier = classifier
+        self.reporting = reporting
+        self.analysis = analysis
+        self.fwb_only = fwb_only
+        self.detections: List[DetectionRecord] = []
+        self.stats = FrameworkStats()
+
+    def step(self, now: int) -> List[DetectionRecord]:
+        """One polling cycle at time ``now``; returns fresh detections."""
+        fresh: List[DetectionRecord] = []
+        observations = self.streaming.poll(now)
+        self.stats.polls += 1
+        self.stats.observations += len(observations)
+        for observation in observations:
+            if observation.is_fwb:
+                self.stats.fwb_observations += 1
+            elif self.fwb_only:
+                continue
+            page = self.preprocessor.process(observation.url, now, keep=False)
+            if page is None:
+                self.stats.unreachable += 1
+                continue
+            prediction = self.classifier.classify_page(page)
+            if prediction.label != 1:
+                continue
+            record = DetectionRecord(
+                observation=observation,
+                page=page,
+                probability=prediction.probability,
+                detected_at=now,
+            )
+            self.detections.append(record)
+            fresh.append(record)
+            self.stats.detections += 1
+            self.reporting.report(observation, page, now)
+            self.stats.reports_filed += 1
+            self.analysis.track(observation)
+        return fresh
+
+    def run(self, start: int, end: int,
+            interval: int = STREAM_INTERVAL_MINUTES) -> List[DetectionRecord]:
+        """Run polling cycles over ``[start, end]``."""
+        all_fresh: List[DetectionRecord] = []
+        tick = start + interval
+        while tick <= end:
+            all_fresh.extend(self.step(tick))
+            tick += interval
+        return all_fresh
+
+    def detected_urls(self) -> List[str]:
+        return [str(record.observation.url) for record in self.detections]

@@ -1,0 +1,87 @@
+"""Pre-processing module (paper §4.1).
+
+Stores a full snapshot of each streamed website (source + rendered
+signature, the stand-in for a screenshot) and extracts the classifier's
+feature set. Unreachable URLs are dropped, mirroring the real pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import FetchError
+from ..simnet.browser import Browser, PageSnapshot
+from ..simnet.url import URL
+from ..simnet.web import Web
+from .features import FWB_FEATURE_NAMES, FeatureExtractor, PageFeatures
+
+
+@dataclass
+class ProcessedPage:
+    """Snapshot + features for one streamed URL."""
+
+    url: URL
+    snapshot: PageSnapshot
+    features: PageFeatures
+    fwb_name: Optional[str]
+
+    @property
+    def fwb_vector(self) -> np.ndarray:
+        return self.features.fwb_vector
+
+    @property
+    def base_vector(self) -> np.ndarray:
+        return self.features.base_vector
+
+
+class Preprocessor:
+    """Snapshot + feature-extraction stage of the pipeline."""
+
+    def __init__(
+        self,
+        web: Web,
+        browser: Optional[Browser] = None,
+        extractor: Optional[FeatureExtractor] = None,
+    ) -> None:
+        self.web = web
+        self.browser = browser if browser is not None else Browser(web)
+        self.extractor = extractor if extractor is not None else FeatureExtractor()
+        #: Snapshot archive, as the paper stores full website snapshots.
+        self.archive: List[ProcessedPage] = []
+
+    def process(self, url: URL, now: int, keep: bool = True) -> Optional[ProcessedPage]:
+        """Snapshot and featurize one URL; ``None`` if it cannot be fetched."""
+        try:
+            snapshot = self.browser.snapshot(url, now)
+        except FetchError:
+            return None
+        features = self.extractor.extract(url, snapshot)
+        service = self.web.fwb_for(url)
+        page = ProcessedPage(
+            url=url,
+            snapshot=snapshot,
+            features=features,
+            fwb_name=service.name if service is not None else None,
+        )
+        if keep:
+            self.archive.append(page)
+        return page
+
+    def process_batch(
+        self, urls: List[URL], now: int, keep: bool = False
+    ) -> List[ProcessedPage]:
+        pages = []
+        for url in urls:
+            page = self.process(url, now, keep=keep)
+            if page is not None:
+                pages.append(page)
+        return pages
+
+    def feature_matrix(self, pages: List[ProcessedPage]) -> np.ndarray:
+        """Stacked FWB-augmented feature vectors for a batch."""
+        if not pages:
+            return np.empty((0, len(FWB_FEATURE_NAMES)))
+        return np.vstack([page.fwb_vector for page in pages])

@@ -1,0 +1,108 @@
+"""Reporting module (paper §4.3).
+
+URLs the classifier flags as phishing are reported immediately to (a) the
+hosting FWB service's abuse desk and (b) the social platform the URL was
+found on. Reports carry the evidence bundle the paper describes — full URL,
+screenshot (visual signature), and the spoofed organization — since
+evidence-backed reports are actioned faster. Blocklists are deliberately
+**not** notified: community lists ingest reports unverified, which would
+contaminate the longitudinal measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..ecosystem.takedown import AbuseDesk, ReportOutcome, TakedownTicket
+from ..errors import ReportingError
+from ..simnet.url import URL
+from ..social.platform import SocialPlatform
+from .preprocess import ProcessedPage
+from .streaming import StreamObservation
+
+
+@dataclass
+class AbuseReport:
+    """One filed report and what became of it."""
+
+    url: str
+    fwb_name: Optional[str]
+    platform: str
+    post_id: str
+    reported_at: int
+    spoofed_brand: Optional[str]
+    fwb_outcome: Optional[ReportOutcome] = None
+    platform_actioned: bool = False
+
+
+class ReportingModule:
+    """Files reports with FWB abuse desks and social platforms."""
+
+    def __init__(
+        self,
+        abuse_desks: Dict[str, AbuseDesk],
+        platforms: Dict[str, SocialPlatform],
+        #: Platforms action a fraction of external reports directly; the
+        #: rest ride the platform's own moderation pipeline.
+        platform_report_action_rate: float = 0.0,
+    ) -> None:
+        self.abuse_desks = dict(abuse_desks)
+        self.platforms = dict(platforms)
+        self.platform_report_action_rate = platform_report_action_rate
+        self.reports: List[AbuseReport] = []
+
+    def report(
+        self,
+        observation: StreamObservation,
+        page: Optional[ProcessedPage],
+        now: int,
+    ) -> AbuseReport:
+        """Report one detected phishing URL everywhere it should go."""
+        brand = None
+        if page is not None:
+            title = page.snapshot.document.title
+            brand = title.split(" - ")[0].lower() if title else None
+        report = AbuseReport(
+            url=str(observation.url),
+            fwb_name=observation.fwb_name,
+            platform=observation.platform,
+            post_id=observation.post.post_id,
+            reported_at=now,
+            spoofed_brand=brand,
+        )
+        if observation.fwb_name is not None:
+            desk = self.abuse_desks.get(observation.fwb_name)
+            if desk is None:
+                raise ReportingError(
+                    f"no abuse desk registered for FWB {observation.fwb_name!r}"
+                )
+            ticket: TakedownTicket = desk.receive_report(observation.url, now)
+            report.fwb_outcome = ticket.outcome
+        platform = self.platforms.get(observation.platform)
+        if platform is not None and self.platform_report_action_rate > 0:
+            if platform.rng.random() < self.platform_report_action_rate:
+                report.platform_actioned = platform.remove_reported(
+                    observation.post.post_id, now
+                )
+        self.reports.append(report)
+        return report
+
+    # -- §5.3 "Response to reporting" aggregation ------------------------------
+
+    def response_rates_by_fwb(self) -> Dict[str, Dict[str, float]]:
+        """Per-FWB shares of no-response / acknowledged / resolved reports."""
+        counts: Dict[str, Dict[str, int]] = {}
+        for report in self.reports:
+            if report.fwb_name is None or report.fwb_outcome is None:
+                continue
+            bucket = counts.setdefault(
+                report.fwb_name,
+                {outcome.value: 0 for outcome in ReportOutcome},
+            )
+            bucket[report.fwb_outcome.value] += 1
+        rates: Dict[str, Dict[str, float]] = {}
+        for fwb, bucket in counts.items():
+            total = sum(bucket.values())
+            rates[fwb] = {key: value / total for key, value in bucket.items()}
+        return rates

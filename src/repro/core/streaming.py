@@ -1,0 +1,96 @@
+"""Streaming module (paper §4.1).
+
+Polls Twitter (search API) and Facebook (CrowdTangle) every 10 minutes,
+extracts URLs from fresh posts with the library's URL regex, and forwards
+FWB-hosted URLs (plus, optionally, everything else for the self-hosted
+comparison stream) downstream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..config import STREAM_INTERVAL_MINUTES
+from ..errors import StreamError
+from ..simnet.url import URL
+from ..simnet.web import Web
+from ..social.facebook import CrowdTangleAPI
+from ..social.posts import Post
+from ..social.twitter import TwitterAPI
+
+
+@dataclass(frozen=True)
+class StreamObservation:
+    """One URL observed in one post on one platform."""
+
+    url: URL
+    post: Post
+    platform: str
+    observed_at: int
+    fwb_name: Optional[str]
+
+    @property
+    def is_fwb(self) -> bool:
+        return self.fwb_name is not None
+
+
+class StreamingModule:
+    """The 10-minute social-stream poller."""
+
+    def __init__(
+        self,
+        web: Web,
+        twitter: TwitterAPI,
+        crowdtangle: CrowdTangleAPI,
+        interval_minutes: int = STREAM_INTERVAL_MINUTES,
+    ) -> None:
+        if interval_minutes <= 0:
+            raise StreamError("interval must be positive")
+        self.web = web
+        self.twitter = twitter
+        self.crowdtangle = crowdtangle
+        self.interval_minutes = interval_minutes
+        self._cursor: Optional[int] = None
+        #: De-duplication across the whole run: each URL is handled once,
+        #: at its first sighting.
+        self._seen_urls: set = set()
+
+    def poll(self, now: int) -> List[StreamObservation]:
+        """Collect observations since the previous poll (or from 0)."""
+        start = self._cursor if self._cursor is not None else 0
+        if now < start:
+            raise StreamError("stream polled backwards in time")
+        observations: List[StreamObservation] = []
+        posts: List[Tuple[str, Post]] = []
+        posts += [("twitter", p) for p in self.twitter.search_recent(start, now)]
+        posts += [("facebook", p) for p in self.crowdtangle.posts(start, now)]
+        for platform, post in posts:
+            for url in post.urls:
+                key = str(url)
+                if key in self._seen_urls:
+                    continue
+                self._seen_urls.add(key)
+                service = self.web.fwb_for(url)
+                observations.append(
+                    StreamObservation(
+                        url=url,
+                        post=post,
+                        platform=platform,
+                        observed_at=now,
+                        fwb_name=service.name if service is not None else None,
+                    )
+                )
+        self._cursor = now
+        return observations
+
+    def run_window(self, start: int, end: int) -> List[StreamObservation]:
+        """Poll repeatedly at the configured cadence over [start, end)."""
+        if self._cursor is None:
+            self._cursor = start
+        observations = []
+        tick = self._cursor + self.interval_minutes
+        while tick <= end:
+            observations.extend(self.poll(tick))
+            tick += self.interval_minutes
+        return observations

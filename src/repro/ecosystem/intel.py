@@ -1,0 +1,234 @@
+"""Observable threat-intel signals and the canonical suspicion score.
+
+Every anti-phishing entity in the simulation — VirusTotal engines,
+blocklists, platform moderation, registrar desks — evaluates URLs through
+the signals gathered here. The signals are exactly the heuristics the paper
+says the ecosystem leans on, and exactly the ones FWB hosting subverts:
+
+==========================  ==============================  ================
+signal                      self-hosted phishing            FWB phishing
+==========================  ==============================  ================
+domain age                  days (fresh registration)       years (FWB apex)
+TLD                         cheap (.xyz/.top/...)           .com (14 of 17)
+CT-log appearance           yes (fresh DV cert)             no (shared cert)
+certificate level           DV or none                      OV / EV
+search-index presence       often                           4.1% only
+credential fields           on-page                         often displaced
+kit markup signature        yes                             builder template
+==========================  ==============================  ================
+
+``suspicion_score`` folds the signals into [0, 1]; entity behaviour models
+map that score to (detect?, delay) outcomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..errors import FetchError
+from ..simnet.browser import Browser, PageSnapshot
+from ..simnet.tls import ValidationLevel
+from ..simnet.url import URL, count_sensitive_words
+from ..simnet.web import Web
+from ..sitegen.names import CHEAP_TLDS
+
+
+@dataclass
+class UrlIntel:
+    """Signals an anti-phishing entity can observe about one URL."""
+
+    url: URL
+    reachable: bool = False
+    domain_age_days: Optional[float] = None
+    cheap_tld: bool = False
+    com_tld: bool = False
+    https: bool = False
+    cert_level: Optional[ValidationLevel] = None
+    in_ct_log: bool = False
+    indexed: bool = False
+    has_credential_form: bool = False
+    n_credential_inputs: int = 0
+    sensitive_url_words: int = 0
+    brand_title_mismatch: bool = False
+    hidden_elements: bool = False
+    noindex: bool = False
+    external_iframe: bool = False
+    malicious_download: bool = False
+    download_detections: int = 0
+    linkout_button: bool = False
+    kit_markup: bool = False
+    is_fwb: bool = False
+    fwb_name: Optional[str] = None
+    fwb_scrutiny: float = 1.0
+
+
+#: Weights for the canonical suspicion score. Positive values raise
+#: suspicion; negative values are the trust signals FWB attacks inherit.
+DEFAULT_WEIGHTS: Dict[str, float] = {
+    "fresh_domain": 0.34,       # age < 30 days
+    "young_domain": 0.18,       # age < 365 days
+    "cheap_tld": 0.22,
+    "no_https": 0.10,
+    "dv_cert": 0.10,
+    "in_ct_log": 0.08,
+    "credential_form": 0.30,
+    "brand_title_mismatch": 0.22,
+    "sensitive_url_words": 0.05,  # per word, capped at 3
+    "kit_markup": 0.18,
+    "malicious_download": 0.26,
+    "external_iframe": 0.07,
+    "linkout_button": 0.10,
+    "hidden_elements": 0.08,
+    "old_domain_trust": -0.30,  # age > 5 years
+    "ov_ev_cert_trust": -0.12,
+    "indexed_trust": -0.02,
+}
+
+
+def gather_intel(web: Web, browser: Browser, url: URL, now: int) -> UrlIntel:
+    """Collect everything an external scanner can observe about ``url``."""
+    intel = UrlIntel(url=url)
+    whois = web.whois.lookup(url, now)
+    if whois is not None:
+        intel.domain_age_days = whois.age_days
+    intel.cheap_tld = url.tld in CHEAP_TLDS
+    intel.com_tld = url.tld == "com"
+    intel.https = url.scheme == "https"
+    intel.in_ct_log = web.ct_log.contains_host(url.host)
+    intel.indexed = web.search_index.is_indexed(url)
+    service = web.fwb_for(url)
+    if service is not None:
+        intel.is_fwb = True
+        intel.fwb_name = service.name
+        intel.fwb_scrutiny = service.scrutiny
+
+    try:
+        snapshot = browser.snapshot(url, now)
+    except FetchError:
+        return intel
+    intel.reachable = True
+    if snapshot.certificate is not None:
+        intel.cert_level = snapshot.certificate.level
+
+    document = snapshot.document
+    credential_inputs = document.credential_inputs()
+    intel.n_credential_inputs = len(credential_inputs)
+    intel.has_credential_form = bool(document.password_inputs()) or len(credential_inputs) >= 2
+    intel.sensitive_url_words = count_sensitive_words(url)
+    intel.hidden_elements = document.has_hidden_elements()
+    intel.noindex = document.has_noindex()
+    intel.external_iframe = any(
+        src.host != url.host for src, _markup in snapshot.iframe_contents
+    )
+    if snapshot.downloads:
+        detections = max(asset.vt_detections for asset in snapshot.downloads)
+        intel.download_detections = detections
+        intel.malicious_download = detections >= 4
+    intel.kit_markup = (
+        "kit-panel" in snapshot.markup or "gate.php" in snapshot.markup
+    )
+    # Two-step shape: a page without credential fields whose main content
+    # is an outbound call-to-action button.
+    if not intel.has_credential_form and snapshot.outbound_links:
+        for anchor in document.links():
+            classes = " ".join(anchor.classes).lower()
+            if "btn" in classes or "button" in classes:
+                href = anchor.get("href")
+                if href.startswith(("http://", "https://")) and url.host not in href:
+                    intel.linkout_button = True
+                    break
+
+    title = document.title.lower()
+    host_and_path = (url.host + url.path).lower()
+    # Crude but effective: a sign-in title naming an organization whose
+    # name does not appear in the serving host.
+    if ("sign in" in title or "login" in title) and title:
+        head_token = title.split()[0].strip(".,-")
+        if len(head_token) >= 4 and head_token not in url.registered_domain:
+            intel.brand_title_mismatch = True
+    _ = host_and_path
+    return intel
+
+
+def suspicion_score(
+    intel: UrlIntel, weights: Optional[Dict[str, float]] = None
+) -> float:
+    """Fold intel signals into a suspicion score in [0, 1].
+
+    Unreachable URLs score 0 (nothing to analyse). The score is linear in
+    the weighted signals, shifted by a small base rate and clipped.
+    """
+    w = DEFAULT_WEIGHTS if weights is None else weights
+
+    def weight(name: str) -> float:
+        return w.get(name, 0.0)
+
+    if not intel.reachable:
+        return 0.0
+    score = 0.05  # base prior: the URL arrived via an abuse-prone channel
+    age = intel.domain_age_days
+    if age is not None:
+        if age < 30:
+            score += weight("fresh_domain")
+        elif age < 365:
+            score += weight("young_domain")
+        elif age > 5 * 365:
+            score += weight("old_domain_trust")
+    if intel.cheap_tld:
+        score += weight("cheap_tld")
+    if not intel.https:
+        score += weight("no_https")
+    if intel.cert_level is ValidationLevel.DV:
+        score += weight("dv_cert")
+    elif intel.cert_level in (ValidationLevel.OV, ValidationLevel.EV):
+        score += weight("ov_ev_cert_trust")
+    if intel.in_ct_log:
+        score += weight("in_ct_log")
+    if intel.indexed:
+        score += weight("indexed_trust")
+    if intel.has_credential_form:
+        score += weight("credential_form")
+    if intel.brand_title_mismatch:
+        score += weight("brand_title_mismatch")
+    score += weight("sensitive_url_words") * min(intel.sensitive_url_words, 3)
+    if intel.kit_markup:
+        score += weight("kit_markup")
+    if intel.malicious_download:
+        score += weight("malicious_download")
+    if intel.external_iframe:
+        score += weight("external_iframe")
+    if intel.linkout_button:
+        score += weight("linkout_button")
+    if intel.hidden_elements:
+        score += weight("hidden_elements")
+    # Soft saturation: additive evidence has diminishing returns, so a
+    # loaded kit lands around 0.8-0.9 rather than pinning the scale.
+    if score <= 0.0:
+        return 0.0
+    return float(1.0 - np.exp(-1.35 * score))
+
+
+class IntelService:
+    """Caches intel per (url, coarse time bucket) for the ecosystem."""
+
+    def __init__(self, web: Web, browser: Optional[Browser] = None,
+                 cache_bucket_minutes: int = 24 * 60) -> None:
+        self.web = web
+        self.browser = browser if browser is not None else Browser(web)
+        self.cache_bucket_minutes = cache_bucket_minutes
+        self._cache: Dict[tuple, UrlIntel] = {}
+
+    def intel_for(self, url: URL, now: int) -> UrlIntel:
+        key = (str(url), now // self.cache_bucket_minutes)
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = gather_intel(self.web, self.browser, url, now)
+            self._cache[key] = cached
+        return cached
+
+    def suspicion(self, url: URL, now: int,
+                  weights: Optional[Dict[str, float]] = None) -> float:
+        return suspicion_score(self.intel_for(url, now), weights)

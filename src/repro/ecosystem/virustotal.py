@@ -1,0 +1,85 @@
+"""VirusTotal-style aggregation of the engine fleet.
+
+FreePhish scans every URL through VirusTotal every 10 minutes for up to a
+week (§4.4), counting how many of the 76 engines flag it at each point.
+A scan at time ``t`` reports the engines whose (cached) detection time has
+passed — detections accumulate over the week, producing Figures 7 and 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..simnet.url import URL
+from .engines import DetectionEngine
+from .intel import IntelService, UrlIntel
+
+
+@dataclass
+class ScanReport:
+    """Result of one VirusTotal scan of one URL."""
+
+    url: URL
+    scanned_at: int
+    positives: int
+    total_engines: int
+    engines: List[str] = field(default_factory=list)
+
+    @property
+    def detection_ratio(self) -> float:
+        return self.positives / self.total_engines if self.total_engines else 0.0
+
+
+class VirusTotal:
+    """Aggregator over the detection-engine fleet."""
+
+    def __init__(
+        self,
+        engines: Sequence[DetectionEngine],
+        intel_service: IntelService,
+    ) -> None:
+        self.engines = list(engines)
+        self.intel_service = intel_service
+        #: URL -> first time VT ever saw it (engines date latencies from it).
+        self._first_seen: Dict[str, int] = {}
+        self._intel_at_first_seen: Dict[str, UrlIntel] = {}
+
+    @property
+    def n_engines(self) -> int:
+        return len(self.engines)
+
+    def _register(self, url: URL, now: int) -> UrlIntel:
+        key = str(url)
+        if key not in self._first_seen:
+            self._first_seen[key] = now
+            self._intel_at_first_seen[key] = self.intel_service.intel_for(url, now)
+        return self._intel_at_first_seen[key]
+
+    def scan(self, url: URL, now: int) -> ScanReport:
+        """Scan ``url`` and report current engine positives."""
+        intel = self._register(url, now)
+        first_seen = self._first_seen[str(url)]
+        positives: List[str] = []
+        for engine in self.engines:
+            detects, detection_time = engine.evaluate(intel, first_seen)
+            if detects and detection_time is not None and detection_time <= now:
+                positives.append(engine.name)
+        return ScanReport(
+            url=url,
+            scanned_at=now,
+            positives=len(positives),
+            total_engines=self.n_engines,
+            engines=positives,
+        )
+
+    def detections_at(self, url: URL, now: int) -> int:
+        return self.scan(url, now).positives
+
+    def final_detections(self, url: URL, horizon: int) -> int:
+        """Detections the URL will have accumulated by ``horizon``."""
+        return self.scan(url, horizon).positives
+
+    def scan_file_detections(self, vt_detections: int) -> int:
+        """File scans report the payload's precomputed engine count."""
+        return int(vt_detections)

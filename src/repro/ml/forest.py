@@ -1,0 +1,83 @@
+"""Random forest classifier.
+
+The FreePhish framework description (§4, component 3) names a Random Forest
+as the classification-module learner; we provide it both for that role and
+as a strong sanity baseline in tests. Standard recipe: bootstrap-sampled
+CART trees with √d feature subsampling, probability averaging.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import NotFittedError, TrainingError
+from .tree import DecisionTreeClassifier
+
+
+class RandomForestClassifier:
+    """Bagged ensemble of decorrelated CART classifiers."""
+
+    def __init__(
+        self,
+        n_estimators: int = 100,
+        max_depth: int = 10,
+        min_samples_leaf: int = 1,
+        max_features: Optional[str] = "sqrt",
+        random_state: Optional[int] = None,
+    ) -> None:
+        if n_estimators <= 0:
+            raise TrainingError("n_estimators must be positive")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.random_state = random_state
+        self._trees: List[DecisionTreeClassifier] = []
+        self._n_features = 0
+
+    def _features_per_split(self, n_features: int) -> Optional[int]:
+        if self.max_features is None:
+            return None
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(n_features)))
+        if self.max_features == "log2":
+            return max(1, int(np.log2(n_features)))
+        if isinstance(self.max_features, int):
+            return max(1, min(self.max_features, n_features))
+        raise TrainingError(f"unsupported max_features: {self.max_features!r}")
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y)
+        if X.ndim != 2 or y.shape[0] != X.shape[0]:
+            raise TrainingError("bad shapes for X/y")
+        self._n_features = X.shape[1]
+        rng = np.random.default_rng(self.random_state)
+        max_features = self._features_per_split(X.shape[1])
+        n = X.shape[0]
+        self._trees = []
+        for i in range(self.n_estimators):
+            indices = rng.integers(0, n, size=n)  # bootstrap sample
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=max_features,
+                random_state=int(rng.integers(0, 2 ** 31 - 1)),
+            )
+            tree.fit(X[indices], y[indices])
+            self._trees.append(tree)
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if not self._trees:
+            raise NotFittedError("RandomForestClassifier is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        accumulated = np.zeros((X.shape[0], 2), dtype=np.float64)
+        for tree in self._trees:
+            accumulated += tree.predict_proba(X)
+        return accumulated / len(self._trees)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(X)[:, 1] >= 0.5).astype(np.int64)

@@ -1,0 +1,111 @@
+"""Binary-classification metrics used throughout the evaluation (Table 2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..errors import TrainingError
+
+
+def _validate(y_true: np.ndarray, y_pred: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true).astype(np.int64).ravel()
+    y_pred = np.asarray(y_pred).astype(np.int64).ravel()
+    if y_true.shape != y_pred.shape:
+        raise TrainingError(
+            f"shape mismatch: y_true {y_true.shape} vs y_pred {y_pred.shape}"
+        )
+    if y_true.size == 0:
+        raise TrainingError("empty label arrays")
+    return y_true, y_pred
+
+
+def confusion_matrix(y_true, y_pred) -> np.ndarray:
+    """2x2 matrix ``[[tn, fp], [fn, tp]]``."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    tn = int(np.sum((y_true == 0) & (y_pred == 0)))
+    fp = int(np.sum((y_true == 0) & (y_pred == 1)))
+    fn = int(np.sum((y_true == 1) & (y_pred == 0)))
+    tp = int(np.sum((y_true == 1) & (y_pred == 1)))
+    return np.array([[tn, fp], [fn, tp]], dtype=np.int64)
+
+
+def accuracy_score(y_true, y_pred) -> float:
+    y_true, y_pred = _validate(y_true, y_pred)
+    return float(np.mean(y_true == y_pred))
+
+
+def precision_score(y_true, y_pred) -> float:
+    matrix = confusion_matrix(y_true, y_pred)
+    tp, fp = matrix[1, 1], matrix[0, 1]
+    return float(tp / (tp + fp)) if (tp + fp) > 0 else 0.0
+
+
+def recall_score(y_true, y_pred) -> float:
+    matrix = confusion_matrix(y_true, y_pred)
+    tp, fn = matrix[1, 1], matrix[1, 0]
+    return float(tp / (tp + fn)) if (tp + fn) > 0 else 0.0
+
+
+def f1_score(y_true, y_pred) -> float:
+    precision = precision_score(y_true, y_pred)
+    recall = recall_score(y_true, y_pred)
+    if precision + recall == 0:
+        return 0.0
+    return 2 * precision * recall / (precision + recall)
+
+
+@dataclass(frozen=True)
+class ClassificationSummary:
+    """One row of Table 2."""
+
+    accuracy: float
+    precision: float
+    recall: float
+    f1: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "accuracy": self.accuracy,
+            "precision": self.precision,
+            "recall": self.recall,
+            "f1": self.f1,
+        }
+
+
+def classification_summary(y_true, y_pred) -> ClassificationSummary:
+    return ClassificationSummary(
+        accuracy=accuracy_score(y_true, y_pred),
+        precision=precision_score(y_true, y_pred),
+        recall=recall_score(y_true, y_pred),
+        f1=f1_score(y_true, y_pred),
+    )
+
+
+def roc_auc_score(y_true, scores) -> float:
+    """AUC via the Mann-Whitney rank statistic (tie-aware)."""
+    y_true = np.asarray(y_true).astype(np.int64).ravel()
+    scores = np.asarray(scores, dtype=np.float64).ravel()
+    if y_true.shape != scores.shape:
+        raise TrainingError("shape mismatch between labels and scores")
+    n_pos = int(y_true.sum())
+    n_neg = y_true.size - n_pos
+    if n_pos == 0 or n_neg == 0:
+        raise TrainingError("roc_auc_score needs both classes present")
+    order = np.argsort(scores, kind="stable")
+    ranks = np.empty_like(order, dtype=np.float64)
+    ranks[order] = np.arange(1, scores.size + 1)
+    # Average ranks over ties.
+    sorted_scores = scores[order]
+    i = 0
+    while i < sorted_scores.size:
+        j = i
+        while j + 1 < sorted_scores.size and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        if j > i:
+            ranks[order[i : j + 1]] = (i + j + 2) / 2.0
+        i = j + 1
+    rank_sum = ranks[y_true == 1].sum()
+    return float((rank_sum - n_pos * (n_pos + 1) / 2.0) / (n_pos * n_neg))

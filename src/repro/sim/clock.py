@@ -1,0 +1,67 @@
+"""Simulation clock: a minute-resolution scheduler.
+
+Time is integer minutes since the campaign epoch. The clock advances in
+fixed ticks (the 10-minute streaming cadence by default) and runs any
+callbacks scheduled at or before the new time — enough machinery for this
+study's periodic-polling world without a full event queue.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+from ..config import STREAM_INTERVAL_MINUTES
+from ..errors import SimulationError
+
+Callback = Callable[[int], None]
+
+
+class SimulationClock:
+    """Tick-driven clock with one-shot and periodic callbacks."""
+
+    def __init__(self, start: int = 0,
+                 tick_minutes: int = STREAM_INTERVAL_MINUTES) -> None:
+        if tick_minutes <= 0:
+            raise SimulationError("tick_minutes must be positive")
+        self.now = start
+        self.tick_minutes = tick_minutes
+        self._queue: List[Tuple[int, int, Callback, Optional[int]]] = []
+        self._counter = itertools.count()
+
+    def schedule_at(self, when: int, callback: Callback) -> None:
+        """Run ``callback(now)`` once, at the first tick reaching ``when``."""
+        if when < self.now:
+            raise SimulationError(f"cannot schedule in the past ({when} < {self.now})")
+        heapq.heappush(self._queue, (when, next(self._counter), callback, None))
+
+    def schedule_every(self, period: int, callback: Callback,
+                       first: Optional[int] = None) -> None:
+        """Run ``callback(now)`` every ``period`` minutes."""
+        if period <= 0:
+            raise SimulationError("period must be positive")
+        start = self.now + period if first is None else first
+        heapq.heappush(self._queue, (start, next(self._counter), callback, period))
+
+    def _run_due(self) -> None:
+        while self._queue and self._queue[0][0] <= self.now:
+            when, _tie, callback, period = heapq.heappop(self._queue)
+            callback(self.now)
+            if period is not None:
+                heapq.heappush(
+                    self._queue, (when + period, next(self._counter), callback, period)
+                )
+
+    def tick(self) -> int:
+        """Advance one tick and fire due callbacks; returns the new time."""
+        self.now += self.tick_minutes
+        self._run_due()
+        return self.now
+
+    def run_until(self, end: int) -> None:
+        """Tick forward until ``now >= end``."""
+        if end < self.now:
+            raise SimulationError("cannot run backwards")
+        while self.now < end:
+            self.tick()

@@ -1,0 +1,224 @@
+"""Full-world assembly and the six-month measurement campaign.
+
+:class:`CampaignWorld` instantiates every subsystem — the simulated web
+(17 FWB providers + self-hosting), Twitter and Facebook, the four
+blocklists, the 76-engine VirusTotal fleet, FWB abuse desks, the registrar
+desk, and the FreePhish framework — and runs the paper's §5 measurement:
+
+1. train the classifier on the ground-truth corpus;
+2. stream attacker + benign activity through the platforms at the 10-minute
+   cadence while FreePhish polls, classifies, reports and monitors;
+3. resolve every tracked URL's timeline against blocklists, VirusTotal,
+   host takedowns, and platform moderation.
+
+Scaled-down configurations (``SimulationConfig.scaled``) preserve the
+workload shape at laptop-friendly sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..config import RngFactory, SimulationConfig
+from ..core.classifier import FreePhishClassifier
+from ..core.framework import FreePhish
+from ..core.monitor import AnalysisModule, UrlTimeline
+from ..core.preprocess import Preprocessor
+from ..core.reporting import ReportingModule
+from ..core.streaming import StreamingModule
+from ..ecosystem.blocklists import default_blocklists
+from ..ecosystem.engines import default_engine_fleet
+from ..ecosystem.intel import IntelService
+from ..ecosystem.takedown import AbuseDesk, RegistrarDesk
+from ..ecosystem.virustotal import VirusTotal
+from ..ml import RandomForestClassifier
+from ..simnet.browser import Browser
+from ..simnet.web import Web
+from ..social.facebook import CrowdTangleAPI, FacebookPlatform
+from ..social.twitter import TwitterAPI, TwitterPlatform
+from .attacker import AttackerModel, BenignUserModel
+from .groundtruth import GroundTruthDataset, build_ground_truth
+
+
+@dataclass
+class CampaignResult:
+    """Everything a measurement campaign produced."""
+
+    config: SimulationConfig
+    timelines: List[UrlTimeline]
+    detections: int
+    observations: int
+    ground_truth_size: int
+
+    @property
+    def fwb_timelines(self) -> List[UrlTimeline]:
+        return [t for t in self.timelines if t.is_fwb]
+
+    @property
+    def self_hosted_timelines(self) -> List[UrlTimeline]:
+        return [t for t in self.timelines if not t.is_fwb]
+
+
+class CampaignWorld:
+    """The assembled simulation world."""
+
+    def __init__(
+        self,
+        config: Optional[SimulationConfig] = None,
+        train_samples_per_class: int = 250,
+        use_light_classifier: bool = True,
+    ) -> None:
+        self.config = config if config is not None else SimulationConfig()
+        self.rng_factory = RngFactory(self.config.seed)
+
+        # Substrate.
+        self.web = Web()
+        self.browser = Browser(self.web)
+        self.intel = IntelService(self.web, self.browser)
+
+        # Social platforms.
+        self.twitter = TwitterPlatform(self.rng_factory.child("social.twitter"))
+        self.facebook = FacebookPlatform(self.rng_factory.child("social.facebook"))
+        self.platforms = {"twitter": self.twitter, "facebook": self.facebook}
+
+        # Ecosystem.
+        self.blocklists = default_blocklists(self.intel, seed=self.config.seed)
+        self.engines = default_engine_fleet(self.rng_factory)
+        self.virustotal = VirusTotal(self.engines, self.intel)
+        self.abuse_desks: Dict[str, AbuseDesk] = {
+            name: AbuseDesk(
+                provider, self.web, self.rng_factory.child(f"desk.{name}")
+            )
+            for name, provider in self.web.fwb_providers.items()
+        }
+        self.registrar = RegistrarDesk(
+            self.web.self_hosting, self.web, self.intel,
+            seed=self.config.seed + 13,
+        )
+
+        # Behaviour models.
+        self.attacker = AttackerModel(
+            self.web, self.platforms, self.rng_factory.child("attacker"),
+            twitter_share=self.config.twitter_share,
+        )
+        self.benign_users = BenignUserModel(
+            self.web, self.platforms, self.rng_factory.child("benign"),
+        )
+
+        # FreePhish.
+        self.preprocessor = Preprocessor(self.web, self.browser)
+        classifier_model = (
+            RandomForestClassifier(
+                n_estimators=40, max_depth=10, random_state=self.config.seed
+            )
+            if use_light_classifier
+            else None
+        )
+        self.classifier = FreePhishClassifier(model=classifier_model)
+        self.streaming = StreamingModule(
+            self.web,
+            TwitterAPI(self.twitter),
+            CrowdTangleAPI(self.facebook),
+            interval_minutes=self.config.stream_interval_minutes,
+        )
+        self.reporting = ReportingModule(self.abuse_desks, self.platforms)
+        self.analysis = AnalysisModule(
+            self.web, self.blocklists, self.virustotal, self.platforms,
+            window_minutes=self.config.monitor_window_minutes,
+            poll_interval=self.config.stream_interval_minutes,
+        )
+        self.framework = FreePhish(
+            self.web, self.streaming, self.preprocessor, self.classifier,
+            self.reporting, self.analysis, fwb_only=False,
+        )
+        self.train_samples_per_class = train_samples_per_class
+        self._ground_truth: Optional[GroundTruthDataset] = None
+        #: Ground-truth phishing labels for every URL that entered a stream.
+        self.truth: Dict[str, bool] = {}
+
+    # -- training -------------------------------------------------------------
+
+    def train_classifier(self) -> GroundTruthDataset:
+        """Build the ground-truth corpus and train the classifier on it."""
+        dataset = build_ground_truth(
+            n_per_class=self.train_samples_per_class,
+            seed=self.config.seed + 1,
+        )
+        self.classifier.fit_pages(dataset.pages, dataset.labels)
+        self._ground_truth = dataset
+        return dataset
+
+    # -- campaign loop ------------------------------------------------------------
+
+    def _arrivals_per_tick(self) -> float:
+        ticks = self.config.duration_minutes / self.config.stream_interval_minutes
+        return self.config.target_fwb_phishing / ticks
+
+    def _launch_activity(self, now: int, rng: np.random.Generator,
+                         rate: float) -> None:
+        for _ in range(rng.poisson(rate)):
+            attack = self.attacker.launch_fwb_attack(now)
+            self._register_attack(attack, now)
+        for _ in range(rng.poisson(rate)):
+            attack = self.attacker.launch_self_hosted_attack(now)
+            self._register_attack(attack, now)
+        for _ in range(rng.poisson(rate * self.config.benign_per_phishing)):
+            site = self.benign_users.post_benign_site(now)
+            self.truth[str(site.root_url)] = False
+
+    def _register_attack(self, attack, now: int) -> None:
+        self.truth[str(attack.site.root_url)] = True
+        platform = self.platforms[attack.platform_name]
+        post = platform.get_post(attack.post_id)
+        suspicion = self.intel.suspicion(attack.site.root_url, now)
+        platform.scan(post, suspicion, now)
+        if not attack.is_fwb:
+            self.registrar.observe(attack.site.root_url, now)
+
+    def run(self, verbose: bool = False) -> CampaignResult:
+        """Run the full campaign and resolve all timelines."""
+        if self._ground_truth is None:
+            self.train_classifier()
+        rng = self.rng_factory.child("world.arrivals")
+        rate = self._arrivals_per_tick()
+        interval = self.config.stream_interval_minutes
+        end = self.config.duration_minutes
+
+        now = 0
+        while now < end:
+            now += interval
+            self._launch_activity(now, rng, rate)
+            self.framework.step(now)
+            if now % (24 * 60) < interval:  # housekeeping once a day
+                self._housekeeping(now)
+                if verbose:
+                    print(
+                        f"[day {now // (24 * 60):3d}] detections="
+                        f"{self.framework.stats.detections}"
+                    )
+        # Let every scheduled action (takedowns, moderation) play out across
+        # the monitoring window before resolving timelines.
+        horizon = end + self.config.takedown_window_minutes
+        self._housekeeping(horizon)
+
+        timelines = self.analysis.resolve_all(
+            truth=self.truth,
+            site_horizon_minutes=self.config.takedown_window_minutes,
+        )
+        return CampaignResult(
+            config=self.config,
+            timelines=timelines,
+            detections=self.framework.stats.detections,
+            observations=self.framework.stats.observations,
+            ground_truth_size=0 if self._ground_truth is None else len(self._ground_truth),
+        )
+
+    def _housekeeping(self, now: int) -> None:
+        for desk in self.abuse_desks.values():
+            desk.apply_takedowns(now)
+        self.registrar.apply_takedowns(now)
+        for platform in self.platforms.values():
+            platform.apply_moderation(now)

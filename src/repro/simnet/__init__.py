@@ -1,0 +1,54 @@
+"""Simulated internet substrate.
+
+This package models the pieces of internet infrastructure that the paper's
+measurement depends on: URLs, DNS and domain registration, WHOIS records,
+TLS certificates and the Certificate Transparency log, hosting providers
+(including the 17 Free Website Builder services), a fetch/render browser,
+and a search-engine index that honours ``<noindex>`` tags.
+"""
+
+from .url import URL, parse_url, extract_urls, URLStringStats
+from .dns import DomainRegistry, DomainRecord
+from .whois import WhoisService, WhoisRecord
+from .tls import Certificate, CertificateAuthority, CTLog
+from .fwb import FWBService, FWBPolicy, default_fwb_services, fwb_by_name
+from .hosting import (
+    FileAsset,
+    FWBHostingProvider,
+    HostedSite,
+    HostingProvider,
+    SelfHostingProvider,
+    SiteStatus,
+)
+from .browser import Browser, FetchResult, PageSnapshot
+from .search import SearchIndex
+from .web import Web
+
+__all__ = [
+    "URL",
+    "parse_url",
+    "extract_urls",
+    "URLStringStats",
+    "Web",
+    "DomainRegistry",
+    "DomainRecord",
+    "WhoisService",
+    "WhoisRecord",
+    "Certificate",
+    "CertificateAuthority",
+    "CTLog",
+    "FWBService",
+    "FWBPolicy",
+    "default_fwb_services",
+    "fwb_by_name",
+    "FileAsset",
+    "FWBHostingProvider",
+    "HostedSite",
+    "HostingProvider",
+    "SelfHostingProvider",
+    "SiteStatus",
+    "Browser",
+    "FetchResult",
+    "PageSnapshot",
+    "SearchIndex",
+]

@@ -1,0 +1,93 @@
+"""The assembled simulated web.
+
+:class:`Web` wires the registry, certificate authority, CT log, WHOIS, the
+17 FWB hosting providers, a self-hosting provider, and the search index into
+one object the rest of the library (site generators, browser, ecosystem,
+simulation) talks to.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from ..errors import ConfigError
+from .dns import DomainRegistry
+from .fwb import FWBService, default_fwb_services
+from .hosting import FWBHostingProvider, HostedSite, HostingProvider, SelfHostingProvider
+from .search import SearchIndex
+from .tls import CertificateAuthority, CTLog
+from .url import URL
+from .whois import WhoisService
+
+
+class Web:
+    """Top-level container for the simulated internet.
+
+    Parameters
+    ----------
+    services:
+        FWB service profiles; defaults to the paper's 17.
+    """
+
+    def __init__(self, services: Optional[List[FWBService]] = None) -> None:
+        self.services = list(services) if services is not None else default_fwb_services()
+        if not self.services:
+            raise ConfigError("at least one FWB service is required")
+        self.registry = DomainRegistry()
+        self.ct_log = CTLog()
+        self.ca = CertificateAuthority(ct_log=self.ct_log)
+        self.whois = WhoisService(self.registry)
+        self.search_index = SearchIndex()
+
+        self.fwb_providers: Dict[str, FWBHostingProvider] = {}
+        for service in self.services:
+            provider = FWBHostingProvider(service, self.registry, self.ca)
+            provider.ensure_registered()
+            self.fwb_providers[service.name] = provider
+        self.self_hosting = SelfHostingProvider(self.registry, self.ca)
+        self._domain_to_fwb: Dict[str, FWBHostingProvider] = {
+            p.service.domain: p for p in self.fwb_providers.values()
+        }
+
+    # -- lookup ---------------------------------------------------------------
+
+    def provider_for(self, url: URL) -> Optional[HostingProvider]:
+        fwb = self._domain_to_fwb.get(url.registered_domain)
+        if fwb is not None:
+            return fwb
+        if self.self_hosting.site_for_host(url.host) is not None:
+            return self.self_hosting
+        return None
+
+    def fwb_for(self, url: URL) -> Optional[FWBService]:
+        """Which FWB service hosts this URL, if any (SLD attribution)."""
+        provider = self._domain_to_fwb.get(url.registered_domain)
+        if provider is not None and url.has_subdomain:
+            return provider.service
+        return None
+
+    def site_for(self, url: URL) -> Optional[HostedSite]:
+        provider = self.provider_for(url)
+        if provider is None:
+            return None
+        return provider.site_for_host(url.host)
+
+    def iter_sites(self) -> Iterator[HostedSite]:
+        for provider in self.fwb_providers.values():
+            yield from provider.iter_sites()
+        yield from self.self_hosting.iter_sites()
+
+    # -- takedown -------------------------------------------------------------
+
+    def take_down(self, url: URL, now: int) -> bool:
+        provider = self.provider_for(url)
+        if provider is None:
+            return False
+        removed = provider.take_down(url.host, now)
+        if removed:
+            self.search_index.remove(url)
+        return removed
+
+    def is_active(self, url: URL, now: int) -> bool:
+        site = self.site_for(url)
+        return site is not None and site.is_active(now)

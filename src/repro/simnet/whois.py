@@ -1,0 +1,74 @@
+"""Simulated WHOIS service.
+
+Anti-phishing heuristics weight *domain age* heavily (paper §3, "Longer
+Domain Age"): self-hosted phishing domains are days old, while FWB-hosted
+attacks inherit the age of the FWB's own domain (median 13.7 **years** in the
+paper's dataset vs. 71 **days** for self-hosted PhishTank URLs).
+
+The WHOIS service exposes exactly that semantics: a query for any host
+returns the record of its *registrable* domain, so a lookup of
+``scam-page.weebly.com`` reports Weebly's multi-year-old registration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .dns import DomainRegistry
+from .url import URL, parse_url
+
+
+@dataclass(frozen=True)
+class WhoisRecord:
+    """Response to a WHOIS query."""
+
+    queried_host: str
+    registered_domain: str
+    registrant: str
+    registered_at: int
+    age_minutes: int
+
+    @property
+    def age_days(self) -> float:
+        return self.age_minutes / (24 * 60)
+
+    @property
+    def age_years(self) -> float:
+        return self.age_days / 365.25
+
+
+class WhoisService:
+    """WHOIS lookups backed by the simulated :class:`DomainRegistry`."""
+
+    def __init__(self, registry: DomainRegistry) -> None:
+        self._registry = registry
+
+    def lookup(self, url_or_host, now: int) -> Optional[WhoisRecord]:
+        """Look up the WHOIS record for a URL or bare hostname.
+
+        Returns ``None`` for unregistered domains (mirroring a WHOIS miss).
+        """
+        if isinstance(url_or_host, URL):
+            url = url_or_host
+        else:
+            host = str(url_or_host)
+            if "://" not in host:
+                host = "https://" + host
+            url = parse_url(host)
+        try:
+            record = self._registry.record_for(url.registered_domain)
+        except Exception:
+            return None
+        return WhoisRecord(
+            queried_host=url.host,
+            registered_domain=record.domain,
+            registrant=record.registrant,
+            registered_at=record.registered_at,
+            age_minutes=record.age_minutes(now),
+        )
+
+    def domain_age_days(self, url_or_host, now: int) -> Optional[float]:
+        """Convenience: the age in days, or ``None`` if unregistered."""
+        record = self.lookup(url_or_host, now)
+        return None if record is None else record.age_days

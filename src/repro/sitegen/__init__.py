@@ -1,0 +1,26 @@
+"""Website generation.
+
+Generators for the page populations the study measures: benign FWB customer
+sites, FWB-hosted phishing pages (including the §5.5 evasive variants), and
+self-hosted phishing kits. All generators are deterministic given an RNG.
+"""
+
+from .brands import Brand, BrandCatalog, default_brand_catalog
+from .templates import PageSpec, ContentBlock, TemplateLibrary
+from .legitimate import LegitimateSiteGenerator
+from .phishing import PhishingVariant, PhishingSiteSpec, PhishingSiteGenerator
+from .kits import PhishingKitGenerator
+
+__all__ = [
+    "Brand",
+    "BrandCatalog",
+    "default_brand_catalog",
+    "PageSpec",
+    "ContentBlock",
+    "TemplateLibrary",
+    "LegitimateSiteGenerator",
+    "PhishingVariant",
+    "PhishingSiteSpec",
+    "PhishingSiteGenerator",
+    "PhishingKitGenerator",
+]

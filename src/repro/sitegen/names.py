@@ -1,0 +1,107 @@
+"""Site-name and domain-name generation.
+
+Phishing URLs in the study come in two naming styles: gibberish subdomains
+(the Google Sites example in the paper is ``/view/oofifhdfhehdy``) and
+brand-embedding deceptive names (``paypal-login-verify``). Benign customer
+sites use plain small-business names. Self-hosted kits register deceptive
+domains, usually on cheap TLDs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+_CONSONANTS = "bcdfghjklmnpqrstvwxyz"
+_VOWELS = "aeiou"
+
+_ACTION_WORDS = (
+    "login", "verify", "secure", "account", "update", "support",
+    "auth", "confirm", "unlock", "recovery", "billing", "service",
+)
+
+_BENIGN_WORDS = (
+    "sunny", "maple", "garden", "studio", "craft", "coastal", "urban",
+    "happy", "green", "golden", "blue", "little", "corner", "modern",
+)
+
+_BENIGN_NOUNS = (
+    "bakery", "yoga", "photos", "design", "travel", "kitchen", "florist",
+    "fitness", "books", "coffee", "gallery", "events", "music", "crafts",
+)
+
+CHEAP_TLDS = ("xyz", "top", "live", "online", "site", "store", "club", "icu")
+PREMIUM_TLDS = ("com", "net", "org")
+
+
+def gibberish(rng: np.random.Generator, min_len: int = 8, max_len: int = 14) -> str:
+    """A pronounceable-ish random token, e.g. ``oofifhdfhehdy``."""
+    length = int(rng.integers(min_len, max_len + 1))
+    chars: List[str] = []
+    for i in range(length):
+        pool = _VOWELS if rng.random() < 0.38 else _CONSONANTS
+        chars.append(pool[int(rng.integers(len(pool)))])
+    return "".join(chars)
+
+
+def deceptive_site_name(rng: np.random.Generator, brand_tokens: Sequence[str]) -> str:
+    """A brand-embedding FWB site name, e.g. ``paypaul-verify-secure``."""
+    token = brand_tokens[int(rng.integers(len(brand_tokens)))]
+    action = _ACTION_WORDS[int(rng.integers(len(_ACTION_WORDS)))]
+    style = rng.random()
+    if style < 0.4:
+        return f"{token}-{action}"
+    if style < 0.7:
+        second = _ACTION_WORDS[int(rng.integers(len(_ACTION_WORDS)))]
+        return f"{token}-{action}-{second}"
+    return f"{token}{action}{int(rng.integers(10, 9999))}"
+
+
+def phishing_site_name(rng: np.random.Generator, brand_tokens: Sequence[str]) -> str:
+    """FWB subdomain for a phishing site: gibberish or deceptive."""
+    if rng.random() < 0.45:
+        return gibberish(rng)
+    return deceptive_site_name(rng, brand_tokens)
+
+
+def benign_site_name(rng: np.random.Generator) -> str:
+    """Plausible small-business FWB subdomain, e.g. ``sunny-bakery``."""
+    adjective = _BENIGN_WORDS[int(rng.integers(len(_BENIGN_WORDS)))]
+    noun = _BENIGN_NOUNS[int(rng.integers(len(_BENIGN_NOUNS)))]
+    if rng.random() < 0.3:
+        return f"{adjective}-{noun}-{int(rng.integers(1, 999))}"
+    return f"{adjective}-{noun}{int(rng.integers(1, 99))}"
+
+
+def kit_domain(
+    rng: np.random.Generator,
+    brand_tokens: Sequence[str],
+    com_fraction: float = 0.11,
+) -> str:
+    """A self-hosted phishing domain, usually on a cheap TLD (§6).
+
+    ``com_fraction`` is the minority share registered on premium TLDs.
+    """
+    token = brand_tokens[int(rng.integers(len(brand_tokens)))]
+    action = _ACTION_WORDS[int(rng.integers(len(_ACTION_WORDS)))]
+    if rng.random() < com_fraction:
+        tld = PREMIUM_TLDS[int(rng.integers(len(PREMIUM_TLDS)))]
+    else:
+        tld = CHEAP_TLDS[int(rng.integers(len(CHEAP_TLDS)))]
+    style = rng.random()
+    if style < 0.5:
+        host = f"{token}-{action}"
+    elif style < 0.8:
+        host = f"{action}-{token}{int(rng.integers(1, 99))}"
+    else:
+        host = f"{token}{gibberish(rng, 3, 5)}"
+    return f"{host}.{tld}"
+
+
+def benign_domain(rng: np.random.Generator) -> str:
+    """A long-lived benign self-hosted domain."""
+    adjective = _BENIGN_WORDS[int(rng.integers(len(_BENIGN_WORDS)))]
+    noun = _BENIGN_NOUNS[int(rng.integers(len(_BENIGN_NOUNS)))]
+    tld = PREMIUM_TLDS[int(rng.integers(len(PREMIUM_TLDS)))]
+    return f"{adjective}{noun}{int(rng.integers(1, 999))}.{tld}"

@@ -1,0 +1,386 @@
+"""Per-FWB page templates.
+
+FWB builders wrap user content in service-specific boilerplate: wrapper
+``<div>`` hierarchies, style blocks, generator meta tags, and the free-tier
+banner. Because *every* site on a service shares that boilerplate, benign
+and phishing pages on the same FWB exhibit high code similarity (Table 1:
+Weebly 79.4% median), while services that host raw user HTML (Github.io,
+37.4%) do not.
+
+``TemplateLibrary.render`` turns an abstract :class:`PageSpec` into markup
+for a given service. The ``boilerplate_scale`` of each service controls how
+much fixed wrapper structure is emitted; a scale of zero (github.io/glitch)
+emits bare user markup with per-site idiosyncratic class names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..simnet.fwb import FWBService
+
+_FIELD_INPUT_TYPES = {
+    "email": ("email", "Email address"),
+    "password": ("password", "Password"),
+    "phone": ("tel", "Phone number"),
+    "card": ("text", "Card number"),
+    "ssn": ("text", "Social Security Number"),
+    "account": ("text", "Account number"),
+    "address": ("text", "Street address"),
+    "wallet": ("text", "Wallet recovery phrase"),
+    "name": ("text", "Full name"),
+    "message": ("text", "Your message"),
+}
+
+
+@dataclass
+class ContentBlock:
+    """One abstract content unit placed into a template.
+
+    ``kind`` is one of: ``heading``, ``paragraph``, ``form``, ``button``,
+    ``iframe``, ``download``, ``image``, ``nav``.
+    """
+
+    kind: str
+    text: str = ""
+    href: str = ""
+    fields: Sequence[str] = ()
+    attrs: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class PageSpec:
+    """Service-independent description of a page to render."""
+
+    title: str
+    blocks: List[ContentBlock]
+    primary_color: str = "#336699"
+    noindex: bool = False
+    obfuscate_banner: bool = False
+    #: How the banner is hidden: "inline" injects visibility:hidden into
+    #: the banner div (the paper's example); "stylesheet" adds a CSS rule
+    #: (.fwb-banner{display:none}) — the stealthier flavour.
+    obfuscation_style: str = "inline"
+    language: str = "en"
+
+
+@dataclass(frozen=True)
+class _ServiceTemplate:
+    boilerplate_scale: int
+    wrapper_class: str
+    banner_text: str
+    generator_tag: str
+
+
+_DEFAULT_TEMPLATE = _ServiceTemplate(
+    boilerplate_scale=2,
+    wrapper_class="site-wrap",
+    banner_text="Create a free website",
+    generator_tag="generic-builder",
+)
+
+_SERVICE_TEMPLATES: Dict[str, _ServiceTemplate] = {
+    "weebly": _ServiceTemplate(6, "wsite-section-wrap", "Powered by Weebly - Create your own free website", "weebly"),
+    "000webhost": _ServiceTemplate(4, "wh-main-container", "Powered by 000webhost - Free web hosting", "000webhost"),
+    "blogspot": _ServiceTemplate(3, "blog-posts hfeed", "Powered by Blogger", "blogger"),
+    "wix": _ServiceTemplate(3, "wix-site-container", "Created with Wix.com - Build your website today", "wix.com"),
+    "google_sites": _ServiceTemplate(5, "sites-canvas-main", "Report abuse - Google Sites", "google-sites"),
+    "github_io": _ServiceTemplate(0, "", "", ""),
+    "firebase": _ServiceTemplate(1, "firebase-app-root", "", "firebase"),
+    "squareup": _ServiceTemplate(4, "sqs-block-container", "Made with Square Online", "square"),
+    "zoho_forms": _ServiceTemplate(4, "zf-form-wrapper", "Powered by Zoho Forms", "zoho"),
+    "wordpress": _ServiceTemplate(3, "wp-site-blocks", "Blog at WordPress.com", "wordpress.com"),
+    "google_forms": _ServiceTemplate(5, "freebird-form-container", "This form was created inside Google Forms", "google-forms"),
+    "sharepoint": _ServiceTemplate(4, "sp-page-canvas", "", "sharepoint"),
+    "yolasite": _ServiceTemplate(4, "yola-content-column", "Make a free website with Yola", "yola"),
+    "godaddysites": _ServiceTemplate(4, "gd-page-section", "Powered by GoDaddy Website Builder", "godaddy"),
+    "mailchimp": _ServiceTemplate(4, "mc-landing-wrap", "Made with Mailchimp", "mailchimp"),
+    "glitch": _ServiceTemplate(0, "", "", ""),
+    "hpage": _ServiceTemplate(3, "hp-site-frame", "Free website by hPage.com", "hpage"),
+}
+
+#: How many distinct free-tier themes each service's abused template pool
+#: effectively spans. Fewer themes → higher cross-site code similarity
+#: (phishers on Weebly overwhelmingly reuse the same login-friendly theme,
+#: which is why it tops Table 1).
+_THEME_COUNTS: Dict[str, int] = {
+    "weebly": 2,
+    "google_sites": 2,
+    "000webhost": 3,
+    "blogspot": 4,
+    "wix": 4,
+    "squareup": 3,
+    "google_forms": 2,
+    "sharepoint": 3,
+}
+_DEFAULT_THEME_COUNT = 3
+
+_FILLER_WORDS = (
+    "alpha", "nova", "zen", "pixel", "echo", "lumen", "orbit", "quartz",
+    "delta", "ember", "flux", "halo", "iris", "koda", "mesa", "onyx",
+)
+
+
+class TemplateLibrary:
+    """Renders :class:`PageSpec` objects into per-service HTML markup."""
+
+    def __init__(self, overrides: Optional[Dict[str, _ServiceTemplate]] = None) -> None:
+        self._templates = dict(_SERVICE_TEMPLATES)
+        if overrides:
+            self._templates.update(overrides)
+
+    def template_for(self, service_name: str) -> _ServiceTemplate:
+        return self._templates.get(service_name, _DEFAULT_TEMPLATE)
+
+    # -- public API ---------------------------------------------------------------
+
+    def render(
+        self,
+        service: Optional[FWBService],
+        spec: PageSpec,
+        rng: np.random.Generator,
+    ) -> str:
+        """Render ``spec`` as it would appear hosted on ``service``.
+
+        ``service=None`` renders a self-hosted page (phishing-kit or plain
+        site boilerplate, no FWB wrapper or banner).
+        """
+        if service is None:
+            return self._render_bare(spec, rng, kit_style=True)
+        template = self.template_for(service.name)
+        if template.boilerplate_scale == 0:
+            return self._render_bare(spec, rng, kit_style=False)
+        return self._render_templated(service, template, spec, rng)
+
+    # -- internal renderers ----------------------------------------------------------
+
+    def _head(self, spec: PageSpec, generator: str, style: str) -> str:
+        parts = [
+            "<head>",
+            '<meta charset="utf-8">',
+            '<meta name="viewport" content="width=device-width, initial-scale=1">',
+        ]
+        if generator:
+            parts.append(f'<meta name="generator" content="{generator}">')
+        if spec.noindex:
+            parts.append('<meta name="robots" content="noindex, nofollow">')
+        parts.append(f"<title>{spec.title}</title>")
+        if style:
+            parts.append(f"<style>{style}</style>")
+        parts.append("</head>")
+        return "".join(parts)
+
+    def _render_block(self, block: ContentBlock) -> str:
+        if block.kind == "heading":
+            return f"<h1>{block.text}</h1>"
+        if block.kind == "paragraph":
+            return f"<p>{block.text}</p>"
+        if block.kind == "nav":
+            items = "".join(
+                f'<li><a href="{href}">{label}</a></li>'
+                for label, href in (pair.split("|", 1) for pair in block.fields)
+            )
+            return f"<nav><ul>{items}</ul></nav>"
+        if block.kind == "list":
+            items = "".join(f"<li>{item}</li>" for item in block.fields)
+            return f'<ul class="content-list">{items}</ul>'
+        if block.kind == "image":
+            return f'<img src="{block.href or "/logo.png"}" alt="{block.text}">'
+        if block.kind == "button":
+            return (
+                f'<a class="btn button primary" href="{block.href}">'
+                f"{block.text or 'Continue'}</a>"
+            )
+        if block.kind == "iframe":
+            extra = "".join(f' {k}="{v}"' for k, v in block.attrs.items())
+            return f'<iframe src="{block.href}"{extra}></iframe>'
+        if block.kind == "download":
+            return (
+                f'<a href="{block.href}" download class="download-link">'
+                f"{block.text or 'Download document'}</a>"
+            )
+        if block.kind == "form":
+            rows = []
+            for name in block.fields:
+                input_type, placeholder = _FIELD_INPUT_TYPES.get(name, ("text", name))
+                rows.append(
+                    f'<label>{placeholder}'
+                    f'<input type="{input_type}" name="{name}" '
+                    f'placeholder="{placeholder}"></label>'
+                )
+            action = block.href or "/submit"
+            return (
+                f'<form method="post" action="{action}" class="login-form">'
+                + "".join(rows)
+                + f'<button type="submit">{block.text or "Sign In"}</button></form>'
+            )
+        raise ConfigError(f"unknown content block kind: {block.kind!r}")
+
+    def _banner_html(self, template: _ServiceTemplate, service: FWBService,
+                     obfuscated: bool, obfuscation_style: str = "inline") -> str:
+        if not service.has_banner or not template.banner_text:
+            return ""
+        style = ""
+        if obfuscated and obfuscation_style == "inline":
+            style = ' style="visibility:hidden"'
+        return (
+            f'<div class="{service.name}-banner fwb-banner" id="fwb-banner"{style}>'
+            f'<a href="https://{service.domain}/">{template.banner_text}</a></div>'
+        )
+
+    def _render_templated(
+        self,
+        service: FWBService,
+        template: _ServiceTemplate,
+        spec: PageSpec,
+        rng: np.random.Generator,
+    ) -> str:
+        scale = template.boilerplate_scale
+        # Builders stamp per-page unique element ids into the generated
+        # markup, so two sites on the same service share structure but not
+        # byte-identical tags — the reason Table 1 medians sit below 100%.
+        page_uid = f"{int(rng.integers(0, 16**8)):08x}"
+        # Each page is built from one of the service's free themes; pages on
+        # different themes share far less wrapper vocabulary.
+        n_themes = _THEME_COUNTS.get(service.name, _DEFAULT_THEME_COUNT)
+        theme = int(rng.integers(n_themes))
+        # Themes carry distinct wrapper vocabularies (a Wix "strip" layout
+        # shares almost no class names with its "grid" layout).
+        theme_word = ("strip", "grid", "fold", "mosaic")[theme]
+        brand_prefix = template.wrapper_class.split("-")[0]
+        theme_class = f"{brand_prefix}-{theme_word}-{template.wrapper_class}"
+        theme_fonts = ("Helvetica,Arial", "Georgia,serif", "Verdana,Geneva",
+                       "Futura,Trebuchet MS")
+        style = (
+            f"body{{margin:0;font-family:{theme_fonts[theme % len(theme_fonts)]},sans-serif}}"
+            f".{theme_class}{{max-width:{920 + 40 * theme}px;margin:0 auto}}"
+            f".fwb-banner{{background:#f5f5f5;text-align:center;padding:8px}}"
+            f".login-form input{{display:block;width:100%;margin:6px 0;padding:8px}}"
+            f".btn{{display:inline-block;padding:{8 + 2 * theme}px 24px;border-radius:{2 + 2 * theme}px;"
+            f"background:{spec.primary_color};color:#fff}}"
+            + "".join(
+                f".{theme_class}-col{i}{{padding:{4 * (i + 1) + theme}px}}"
+                for i in range(scale)
+            )
+        )
+        if spec.obfuscate_banner and spec.obfuscation_style == "stylesheet":
+            style += ".fwb-banner{display:none}"
+        inner = "".join(self._render_block(block) for block in spec.blocks)
+        # Nested wrapper hierarchy: the hallmark of builder output.
+        for depth in range(scale):
+            inner = (
+                f'<div class="{theme_class}-col{depth} element-box-v{theme}" '
+                f'id="el-{page_uid}-{depth}">'
+                f"{inner}</div>"
+            )
+        banner = self._banner_html(
+            template, service, spec.obfuscate_banner, spec.obfuscation_style
+        )
+        body = (
+            "<body>"
+            + banner
+            + f'<div class="{theme_class}" id="main-{page_uid}">'
+            + f'<header class="site-header"><span class="site-title">{spec.title}</span></header>'
+            + inner
+            + f'<footer class="site-footer">{banner or "<span>&copy; 2022</span>"}</footer>'
+            + "</div></body>"
+        )
+        head = self._head(spec, template.generator_tag, style)
+        return f'<!DOCTYPE html><html lang="{spec.language}">{head}{body}</html>'
+
+    @staticmethod
+    def _filler_token(rng: np.random.Generator) -> str:
+        """A developer-idiosyncratic naming token: word or coined fragment."""
+        if rng.random() < 0.4:
+            return _FILLER_WORDS[int(rng.integers(len(_FILLER_WORDS)))]
+        consonants = "bcdfgklmnprstvz"
+        vowels = "aeiou"
+        length = int(rng.integers(3, 7))
+        return "".join(
+            (consonants if i % 2 == 0 else vowels)[
+                int(rng.integers(len(consonants if i % 2 == 0 else vowels)))
+            ]
+            for i in range(length)
+        )
+
+    def _render_bare_block(self, block: ContentBlock, rng: np.random.Generator,
+                           decoration: str) -> str:
+        """Hand-written-flavoured rendering: the same abstract block comes
+        out differently on every page (tag choice, class names, attribute
+        style), unlike the uniform builder output."""
+        if block.kind == "paragraph":
+            tag = ("p", "span", "div")[int(rng.integers(3))]
+            return f'<{tag} class="{decoration}-text">{block.text}</{tag}>'
+        if block.kind == "heading":
+            tag = ("h1", "h2")[int(rng.integers(2))]
+            return f"<{tag}>{block.text}</{tag}>"
+        if block.kind == "form":
+            rows = []
+            use_labels = rng.random() < 0.5
+            for name in block.fields:
+                input_type, placeholder = _FIELD_INPUT_TYPES.get(name, ("text", name))
+                if use_labels:
+                    rows.append(
+                        f'<label for="{name}-{decoration}">{placeholder}</label>'
+                        f'<input id="{name}-{decoration}" type="{input_type}" '
+                        f'name="{name}">'
+                    )
+                else:
+                    rows.append(
+                        f'<input type="{input_type}" name="{name}" '
+                        f'placeholder="{placeholder}" class="{decoration}-field">'
+                    )
+            submit = (
+                '<button type="submit">{t}</button>'
+                if rng.random() < 0.5
+                else '<input type="submit" value="{t}">'
+            ).format(t=block.text or "Submit")
+            action = block.href or "/submit"
+            return f'<form method="post" action="{action}">{"".join(rows)}{submit}</form>'
+        return self._render_block(block)
+
+    def _render_bare(self, spec: PageSpec, rng: np.random.Generator, kit_style: bool) -> str:
+        """Hand-written-looking page: idiosyncratic structure and naming.
+
+        Unlike builder output, no two bare pages share wrapper hierarchies,
+        class vocabularies, or attribute conventions — which is why
+        github.io/glitch sit at the bottom of Table 1.
+        """
+        token_a = self._filler_token(rng)
+        token_b = self._filler_token(rng)
+        suffix = int(rng.integers(10, 9999))
+        wrapper = f"{token_a}-{token_b}-{suffix}"
+        container_tag = ("div", "main", "section", "article")[int(rng.integers(4))]
+        style_bits = [
+            f".{wrapper}{{width:{int(rng.integers(60, 100))}%;margin:{int(rng.integers(0, 40))}px auto}}",
+            f"h1,h2{{color:{spec.primary_color};font-size:{int(rng.integers(20, 40))}px}}",
+        ]
+        if rng.random() < 0.5:
+            style_bits.append(
+                f"body{{background:#f{int(rng.integers(0, 9))}f{int(rng.integers(0, 9))}fa}}"
+            )
+        if kit_style:
+            # Phishing kits ship their own characteristic scaffold.
+            style_bits.append(
+                ".kit-panel{box-shadow:0 0 12px rgba(0,0,0,.2);padding:24px}"
+            )
+        inner = "".join(
+            self._render_bare_block(block, rng, token_b) for block in spec.blocks
+        )
+        panel_class = "kit-panel" if kit_style else f"{token_b}-panel"
+        extra_head = ""
+        if rng.random() < 0.5:
+            extra_head = f'<link rel="stylesheet" href="/{token_a}.css">'
+        body = (
+            f'<body><{container_tag} class="{wrapper}">'
+            f'<div class="{panel_class}">'
+            f"<h1>{spec.title}</h1>{inner}</div></{container_tag}></body>"
+        )
+        head = self._head(spec, "", "".join(style_bits)).replace(
+            "</head>", extra_head + "</head>"
+        )
+        return f'<!DOCTYPE html><html lang="{spec.language}">{head}{body}</html>'

@@ -1,0 +1,25 @@
+"""Simulated social platforms (Twitter and Facebook/CrowdTangle).
+
+The streaming module consumes posts from both platforms; the analysis
+module polls post liveness to measure platform moderation (§5.4). Both
+platforms share the same mechanics and differ in their moderation
+behaviour parameters.
+"""
+
+from .posts import Post, PostStatus
+from .moderation import ModerationModel, ModerationDecision
+from .platform import SocialPlatform
+from .twitter import TwitterPlatform, TwitterAPI
+from .facebook import FacebookPlatform, CrowdTangleAPI
+
+__all__ = [
+    "Post",
+    "PostStatus",
+    "ModerationModel",
+    "ModerationDecision",
+    "SocialPlatform",
+    "TwitterPlatform",
+    "TwitterAPI",
+    "FacebookPlatform",
+    "CrowdTangleAPI",
+]

@@ -1,0 +1,72 @@
+"""Post model shared by both platforms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional
+
+from ..simnet.url import URL, extract_urls
+
+
+class PostStatus(str, Enum):
+    LIVE = "live"
+    REMOVED_BY_PLATFORM = "removed_by_platform"
+    DELETED_BY_USER = "deleted_by_user"
+
+
+@dataclass
+class Post:
+    """One social-media post, possibly containing URLs."""
+
+    platform: str
+    post_id: str
+    author: str
+    text: str
+    created_at: int
+    status: PostStatus = PostStatus.LIVE
+    removed_at: Optional[int] = None
+    _urls: Optional[List[URL]] = field(default=None, repr=False)
+
+    @property
+    def urls(self) -> List[URL]:
+        """URLs extracted from the post text (computed once)."""
+        if self._urls is None:
+            self._urls = extract_urls(self.text)
+        return self._urls
+
+    def is_live(self, now: int) -> bool:
+        if self.status is PostStatus.LIVE:
+            return True
+        return self.removed_at is not None and now < self.removed_at
+
+    def remove(self, now: int, by_user: bool = False) -> None:
+        if self.status is PostStatus.LIVE:
+            self.status = (
+                PostStatus.DELETED_BY_USER if by_user else PostStatus.REMOVED_BY_PLATFORM
+            )
+            self.removed_at = now
+
+
+_TEMPLATES_PHISH = (
+    "Huge giveaway going on right now, claim yours: {url}",
+    "Your package could not be delivered, reschedule here {url}",
+    "We noticed a problem with your account, fix it now: {url}",
+    "Limited offer for loyal customers {url}",
+    "Security alert! verify immediately {url}",
+)
+
+_TEMPLATES_BENIGN = (
+    "Check out my new website! {url}",
+    "We just launched our page, feedback welcome {url}",
+    "New blog post is up: {url}",
+    "Our little shop is finally online {url}",
+    "Updated the portfolio with recent work {url}",
+)
+
+
+def compose_post_text(url: URL, phishing: bool, rng) -> str:
+    """Social-bait text around a URL, matching the post populations."""
+    templates = _TEMPLATES_PHISH if phishing else _TEMPLATES_BENIGN
+    template = templates[int(rng.integers(len(templates)))]
+    return template.format(url=str(url))

@@ -1,0 +1,270 @@
+"""DOM node model.
+
+Feature extraction (paper §4.2) needs structural queries over pages: count
+links and classify them internal/external/empty, find login forms and
+password inputs, detect ``<noindex>`` meta tags, and spot FWB banners hidden
+with ``visibility:hidden``. The classes here provide exactly those traversal
+and inspection primitives over a parsed document tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Union
+
+VOID_TAGS = frozenset(
+    {"area", "base", "br", "col", "embed", "hr", "img", "input",
+     "link", "meta", "param", "source", "track", "wbr"}
+)
+
+
+@dataclass
+class TextNode:
+    """A run of character data."""
+
+    text: str
+
+    def to_html(self) -> str:
+        return self.text
+
+    def text_content(self) -> str:
+        return self.text
+
+
+@dataclass
+class Element:
+    """An HTML element with attributes and ordered children."""
+
+    tag: str
+    attrs: Dict[str, str] = field(default_factory=dict)
+    children: List[Union["Element", TextNode]] = field(default_factory=list)
+
+    # -- construction ---------------------------------------------------------
+
+    def append(self, node: Union["Element", TextNode]) -> "Element":
+        self.children.append(node)
+        return self
+
+    def append_text(self, text: str) -> "Element":
+        self.children.append(TextNode(text))
+        return self
+
+    # -- attribute helpers ----------------------------------------------------
+
+    def get(self, name: str, default: str = "") -> str:
+        return self.attrs.get(name.lower(), default)
+
+    def has_attr(self, name: str) -> bool:
+        return name.lower() in self.attrs
+
+    @property
+    def id(self) -> str:
+        return self.get("id")
+
+    @property
+    def classes(self) -> List[str]:
+        return self.get("class").split()
+
+    def style_declarations(self) -> Dict[str, str]:
+        """Parse the inline ``style`` attribute into property → value."""
+        result: Dict[str, str] = {}
+        for chunk in self.get("style").split(";"):
+            if ":" in chunk:
+                prop, _, value = chunk.partition(":")
+                result[prop.strip().lower()] = value.strip().lower()
+        return result
+
+    def is_hidden(self) -> bool:
+        """Inline-style hidden: ``visibility:hidden`` or ``display:none``.
+
+        The paper highlights phishers hiding FWB banners by injecting a
+        ``visibility:hidden`` declaration into the banner's ``<div>``.
+        """
+        style = self.style_declarations()
+        if style.get("visibility") == "hidden" or style.get("display") == "none":
+            return True
+        return self.get("hidden") != "" and self.has_attr("hidden")
+
+    # -- traversal ------------------------------------------------------------
+
+    def iter(self) -> Iterator["Element"]:
+        """Depth-first iteration over this element and all descendants."""
+        yield self
+        for child in self.children:
+            if isinstance(child, Element):
+                yield from child.iter()
+
+    def find_all(
+        self,
+        tag: Optional[str] = None,
+        predicate: Optional[Callable[["Element"], bool]] = None,
+    ) -> List["Element"]:
+        out = []
+        for element in self.iter():
+            if tag is not None and element.tag != tag:
+                continue
+            if predicate is not None and not predicate(element):
+                continue
+            out.append(element)
+        return out
+
+    def find(
+        self,
+        tag: Optional[str] = None,
+        predicate: Optional[Callable[["Element"], bool]] = None,
+    ) -> Optional["Element"]:
+        for element in self.iter():
+            if tag is not None and element.tag != tag:
+                continue
+            if predicate is not None and not predicate(element):
+                continue
+            return element
+        return None
+
+    def text_content(self) -> str:
+        parts = []
+        for child in self.children:
+            parts.append(child.text_content())
+        return "".join(parts)
+
+    # -- serialization ----------------------------------------------------------
+
+    def to_html(self) -> str:
+        attrs = "".join(
+            f' {name}="{value}"' if value != "" else f" {name}"
+            for name, value in self.attrs.items()
+        )
+        if self.tag in VOID_TAGS:
+            return f"<{self.tag}{attrs}>"
+        inner = "".join(child.to_html() for child in self.children)
+        return f"<{self.tag}{attrs}>{inner}</{self.tag}>"
+
+
+@dataclass
+class Document:
+    """A parsed HTML document."""
+
+    root: Element
+
+    @property
+    def title(self) -> str:
+        node = self.root.find("title")
+        return node.text_content().strip() if node is not None else ""
+
+    def find_all(self, tag: Optional[str] = None, predicate=None) -> List[Element]:
+        return self.root.find_all(tag, predicate)
+
+    def find(self, tag: Optional[str] = None, predicate=None) -> Optional[Element]:
+        return self.root.find(tag, predicate)
+
+    def text_content(self) -> str:
+        return self.root.text_content()
+
+    def to_html(self) -> str:
+        return "<!DOCTYPE html>" + self.root.to_html()
+
+    # -- page-level queries used across the library ----------------------------
+
+    def links(self) -> List[Element]:
+        return self.root.find_all("a")
+
+    def forms(self) -> List[Element]:
+        return self.root.find_all("form")
+
+    def inputs(self) -> List[Element]:
+        return self.root.find_all("input")
+
+    def iframes(self) -> List[Element]:
+        return self.root.find_all("iframe")
+
+    def meta_tags(self) -> List[Element]:
+        return self.root.find_all("meta")
+
+    def stylesheet_hidden_selectors(self) -> List[str]:
+        """Class/id selectors hidden by embedded ``<style>`` rules.
+
+        Phishers hide FWB banners not only with inline styles but also by
+        injecting stylesheet rules (``.fwb-banner{display:none}``); this
+        scans every ``<style>`` block for display/visibility suppression
+        and returns the affected simple selectors (without ``.``/``#``).
+        """
+        import re
+
+        hidden: List[str] = []
+        rule_pattern = re.compile(
+            r"([.#][\w-]+)\s*\{[^}]*(?:display\s*:\s*none|"
+            r"visibility\s*:\s*hidden)[^}]*\}",
+            re.IGNORECASE,
+        )
+        for style in self.root.find_all("style"):
+            css = style.text_content()
+            for match in rule_pattern.finditer(css):
+                hidden.append(match.group(1)[1:])
+        return hidden
+
+    def is_element_hidden(self, element: Element) -> bool:
+        """Hidden by inline style *or* by an embedded stylesheet rule."""
+        if element.is_hidden():
+            return True
+        hidden_selectors = self.stylesheet_hidden_selectors()
+        if not hidden_selectors:
+            return False
+        return bool(
+            set(element.classes) & set(hidden_selectors)
+            or (element.id and element.id in hidden_selectors)
+        )
+
+    def has_hidden_elements(self) -> bool:
+        """Does any element get suppressed, by either hiding mechanism?"""
+        hidden_selectors = set(self.stylesheet_hidden_selectors())
+        for element in self.root.iter():
+            if element.is_hidden():
+                return True
+            if hidden_selectors and (
+                set(element.classes) & hidden_selectors
+                or (element.id and element.id in hidden_selectors)
+            ):
+                return True
+        return False
+
+    def has_noindex(self) -> bool:
+        """Is search-engine indexing blocked via a robots noindex meta tag?"""
+        for meta in self.meta_tags():
+            name = meta.get("name").lower()
+            content = meta.get("content").lower()
+            if name in ("robots", "googlebot") and "noindex" in content:
+                return True
+        # Some generators emit a literal (non-standard) <noindex> element.
+        return self.root.find("noindex") is not None
+
+    def password_inputs(self) -> List[Element]:
+        return self.root.find_all(
+            "input", predicate=lambda e: e.get("type").lower() == "password"
+        )
+
+    def credential_inputs(self) -> List[Element]:
+        """Inputs asking for sensitive data (§3: email, password, SSN...)."""
+        sensitive_types = {"password", "email", "tel"}
+        sensitive_names = (
+            "pass", "email", "user", "login", "ssn", "card", "cvv",
+            "account", "pin", "phone", "address", "social",
+        )
+
+        def matches(element: Element) -> bool:
+            if element.get("type").lower() in sensitive_types:
+                return True
+            name = (element.get("name") + " " + element.get("placeholder")).lower()
+            return any(token in name for token in sensitive_names)
+
+        return self.root.find_all("input", predicate=matches)
+
+    def download_links(self) -> List[Element]:
+        """Anchors that trigger file downloads (the §5.5 drive-by vector)."""
+        extensions = (".exe", ".zip", ".apk", ".scr", ".iso", ".docm", ".xlsm", ".msi")
+
+        def matches(element: Element) -> bool:
+            if element.has_attr("download"):
+                return True
+            return element.get("href").lower().endswith(extensions)
+
+        return self.root.find_all("a", predicate=matches)

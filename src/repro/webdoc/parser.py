@@ -1,0 +1,128 @@
+"""Tolerant HTML → DOM parser.
+
+Built on the standard library's :class:`html.parser.HTMLParser`; handles the
+slightly irregular markup real (and simulated) phishing pages contain:
+unclosed tags, stray end tags, void elements, and non-standard elements such
+as ``<noindex>``. The output is always a single :class:`Document` whose root
+is an ``html`` element containing ``head`` and ``body``.
+"""
+
+from __future__ import annotations
+
+from html.parser import HTMLParser
+from typing import List, Optional, Tuple
+
+from ..errors import ParseError
+from .dom import Document, Element, TextNode, VOID_TAGS
+
+# Elements whose end tag is commonly omitted; closing them implicitly when a
+# sibling opens keeps the tree sane.
+_IMPLICIT_CLOSE = {
+    "li": {"li"},
+    "p": {"p", "div", "ul", "ol", "table", "form", "h1", "h2", "h3"},
+    "option": {"option"},
+    "tr": {"tr"},
+    "td": {"td", "tr"},
+    "th": {"th", "tr"},
+}
+
+
+class _DomBuilder(HTMLParser):
+    def __init__(self) -> None:
+        super().__init__(convert_charrefs=True)
+        self.root = Element("html")
+        self._stack: List[Element] = [self.root]
+
+    # -- helpers --------------------------------------------------------------
+
+    @property
+    def _top(self) -> Element:
+        return self._stack[-1]
+
+    def _open(self, element: Element) -> None:
+        self._top.append(element)
+        self._stack.append(element)
+
+    # -- HTMLParser callbacks ---------------------------------------------------
+
+    def handle_starttag(self, tag: str, attrs: List[Tuple[str, Optional[str]]]) -> None:
+        tag = tag.lower()
+        attr_map = {name.lower(): (value if value is not None else "") for name, value in attrs}
+        closers = _IMPLICIT_CLOSE.get(self._top.tag)
+        if closers and tag in closers:
+            self._stack.pop()
+        element = Element(tag, attr_map)
+        if tag in VOID_TAGS:
+            self._top.append(element)
+        else:
+            self._open(element)
+
+    def handle_startendtag(self, tag: str, attrs) -> None:
+        tag = tag.lower()
+        attr_map = {name.lower(): (value if value is not None else "") for name, value in attrs}
+        self._top.append(Element(tag, attr_map))
+
+    def handle_endtag(self, tag: str) -> None:
+        tag = tag.lower()
+        if tag in VOID_TAGS:
+            return
+        # Close up to the matching open tag; ignore strays.
+        for i in range(len(self._stack) - 1, 0, -1):
+            if self._stack[i].tag == tag:
+                del self._stack[i:]
+                return
+
+    def handle_data(self, data: str) -> None:
+        if data.strip():
+            self._top.append_text(data)
+
+
+def _ensure_head_body(root: Element) -> Element:
+    """Normalize the tree to <html><head>...</head><body>...</body></html>."""
+    if root.tag != "html":
+        html = Element("html")
+        html.append(root)
+        root = html
+    head = next((c for c in root.children if isinstance(c, Element) and c.tag == "head"), None)
+    body = next((c for c in root.children if isinstance(c, Element) and c.tag == "body"), None)
+    if head is not None and body is not None:
+        return root
+
+    head_tags = {"title", "meta", "link", "style", "base", "noindex"}
+    new_head = head if head is not None else Element("head")
+    new_body = body if body is not None else Element("body")
+    for child in root.children:
+        if child is head or child is body:
+            continue
+        if isinstance(child, Element) and child.tag in head_tags and body is None:
+            new_head.append(child)
+        else:
+            new_body.append(child)
+    root.children = [new_head, new_body]
+    return root
+
+
+def parse_html(markup: str) -> Document:
+    """Parse HTML markup into a :class:`Document`.
+
+    Never raises on messy-but-textual input; raises
+    :class:`~repro.errors.ParseError` only for non-string input.
+    """
+    if not isinstance(markup, str):
+        raise ParseError(f"expected str markup, got {type(markup).__name__}")
+    builder = _DomBuilder()
+    builder.feed(markup)
+    builder.close()
+
+    root = builder.root
+    # If the document supplied its own <html>, unwrap our synthetic root.
+    real_html = [
+        child for child in root.children
+        if isinstance(child, Element) and child.tag == "html"
+    ]
+    if len(real_html) == 1 and all(
+        (isinstance(c, TextNode) and not c.text.strip()) or c in real_html
+        for c in root.children
+    ):
+        root = real_html[0]
+    return Document(root=_ensure_head_body(root))

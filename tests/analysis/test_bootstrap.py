@@ -1,0 +1,58 @@
+"""Bootstrap confidence intervals."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.coverage import ENTITY_EXTRACTORS
+from repro.analysis.stats import bootstrap_ci, coverage_ci
+from repro.errors import ConfigError
+
+
+class TestBootstrapCI:
+    def test_interval_contains_true_mean_for_clean_sample(self):
+        rng = np.random.default_rng(3)
+        data = rng.normal(loc=5.0, scale=1.0, size=400)
+        low, high = bootstrap_ci(data, seed=1)
+        assert low < 5.0 < high
+        assert high - low < 0.5  # n=400 keeps the band tight
+
+    def test_higher_confidence_widens_interval(self):
+        rng = np.random.default_rng(3)
+        data = rng.normal(size=100)
+        narrow = bootstrap_ci(data, confidence=0.8, seed=1)
+        wide = bootstrap_ci(data, confidence=0.99, seed=1)
+        assert wide[1] - wide[0] > narrow[1] - narrow[0]
+
+    def test_median_statistic(self):
+        data = [1, 2, 3, 4, 100]  # outlier-robust statistic
+        low, high = bootstrap_ci(data, statistic=np.median, seed=1)
+        assert high <= 100
+        assert low >= 1
+
+    def test_deterministic_given_seed(self):
+        data = list(range(50))
+        assert bootstrap_ci(data, seed=7) == bootstrap_ci(data, seed=7)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            bootstrap_ci([])
+        with pytest.raises(ConfigError):
+            bootstrap_ci([1.0], confidence=1.5)
+
+
+class TestCoverageCI:
+    def test_bounds_are_probabilities(self):
+        offsets = [10, None, 20, None, None, 30, 40, None]
+        low, high = coverage_ci(offsets, seed=2)
+        assert 0.0 <= low <= high <= 1.0
+        assert low < 0.5 < high  # point estimate is 0.5
+
+    def test_campaign_gap_significant(self, campaign_result):
+        """The FWB vs self-hosted GSB gap exceeds sampling noise: the two
+        bootstrap intervals do not overlap even at small campaign scale."""
+        extractor = ENTITY_EXTRACTORS["gsb"]
+        fwb = [extractor(t) for t in campaign_result.fwb_timelines]
+        self_hosted = [extractor(t) for t in campaign_result.self_hosted_timelines]
+        _fwb_low, fwb_high = coverage_ci(fwb, seed=3)
+        self_low, _self_high = coverage_ci(self_hosted, seed=3)
+        assert fwb_high < self_low

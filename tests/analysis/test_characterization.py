@@ -1,0 +1,50 @@
+"""§3 characterization study reproduction."""
+
+import pytest
+
+from repro.analysis.characterization import (
+    CODER_ONE,
+    CODER_TWO,
+    CharacterizationReport,
+    characterize,
+)
+
+
+@pytest.fixture(scope="module")
+def report() -> CharacterizationReport:
+    return characterize(n_sample=600, seed=13)
+
+
+class TestCharacterization:
+    def test_confirmation_rate_matches_paper(self, report):
+        """4,656 of 5,000 sampled URLs were confirmed phishing (93.1%)."""
+        assert report.confirmation_rate == pytest.approx(0.931, abs=0.01)
+
+    def test_kappa_in_high_agreement_band(self, report):
+        """Paper: κ = 0.78 — 'high agreement'."""
+        assert 0.6 < report.kappa < 0.95
+
+    def test_com_share_near_89_percent(self, report):
+        assert 0.84 < report.com_share < 0.95
+
+    def test_domain_age_contrast(self, report):
+        """FWB phishing looks years old; self-hosted phishing looks fresh."""
+        assert report.median_fwb_age_years > 10
+        assert report.median_self_hosted_age_days < 200
+        fwb_days = report.median_fwb_age_years * 365
+        assert fwb_days > 20 * report.median_self_hosted_age_days
+
+    def test_low_indexing_rate(self, report):
+        assert report.indexed_rate < 0.10
+
+    def test_noindex_rate_near_paper(self, report):
+        assert 0.35 < report.noindex_rate < 0.55
+
+    def test_coders_have_distinct_blind_spots(self):
+        assert CODER_ONE.evasive_miss_rate > CODER_TWO.evasive_miss_rate
+        assert CODER_TWO.foreign_miss_rate > CODER_ONE.foreign_miss_rate
+
+    def test_deterministic(self):
+        a = characterize(n_sample=200, seed=5)
+        b = characterize(n_sample=200, seed=5)
+        assert a == b

@@ -1,0 +1,49 @@
+"""Report rendering dispatch and formatting edge cases."""
+
+import pytest
+
+from repro.analysis.report import (
+    format_table,
+    render_rows,
+    render_table2,
+)
+from repro.analysis.tables import Table2Row
+
+
+class TestFormatTable:
+    def test_pads_to_widest_cell(self):
+        text = format_table(["col"], [["wide-value"], ["x"]])
+        lines = text.splitlines()
+        assert all(len(line) >= len("wide-value") for line in lines[:2])
+
+    def test_separator_row(self):
+        text = format_table(["a"], [["1"]])
+        assert text.splitlines()[1].startswith("-")
+
+
+class TestRenderRows:
+    def test_dispatch_table2(self):
+        rows = [Table2Row("M", 0.9, 0.8, 0.7, 0.75, 1.0, 0.001)]
+        text = render_rows(rows)
+        assert "0.90" in text and "1.0ms" in text
+
+    def test_dispatch_table1_and_3_4(self, campaign_result):
+        from repro.analysis import build_table3, build_table4
+
+        assert "FWB cov" in render_rows(build_table3(campaign_result.timelines))
+        assert "URLs" in render_rows(build_table4(campaign_result.timelines))
+
+    def test_empty(self):
+        assert render_rows([]) == "(empty)"
+
+    def test_unknown_type(self):
+        with pytest.raises(TypeError):
+            render_rows([object()])
+
+
+class TestRenderTable2:
+    def test_milliseconds_formatting(self):
+        row = Table2Row("X", 1, 1, 1, 1, 12.345, 0.0123)
+        text = render_table2([row])
+        assert "12.3ms" in text
+        assert "12.35" in text  # total seconds column

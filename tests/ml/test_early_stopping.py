@@ -1,0 +1,79 @@
+"""Early stopping in gradient boosting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.ml import GradientBoostingClassifier, accuracy_score, train_test_split
+
+
+def _easy_data(n=400, seed=1):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 4))
+    y = (X[:, 0] > 0).astype(int)  # trivially separable
+    return X, y
+
+
+def _noisy_data(n=400, seed=1):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 4))
+    y = ((X[:, 0] + rng.normal(scale=1.5, size=n)) > 0).astype(int)
+    return X, y
+
+
+class TestEarlyStopping:
+    def test_stops_when_validation_loss_degrades(self):
+        # Pure-noise labels: additional stages only overfit, so the
+        # validation loss turns upward quickly and stopping must trigger.
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(300, 4))
+        y = rng.integers(0, 2, size=300)
+        model = GradientBoostingClassifier(
+            n_estimators=200, early_stopping_rounds=5, random_state=0
+        ).fit(X, y)
+        assert model.n_fitted_trees < 200
+        # The ensemble is truncated to (roughly) the best stage, which is
+        # early_stopping_rounds before the stop point.
+        assert len(model.validation_curve) - model.n_fitted_trees >= 5
+
+    def test_accuracy_preserved_after_truncation(self):
+        X, y = _noisy_data()
+        Xtr, Xte, ytr, yte = train_test_split(X, y, 0.3, random_state=2)
+        stopped = GradientBoostingClassifier(
+            n_estimators=150, early_stopping_rounds=10, random_state=0
+        ).fit(Xtr, ytr)
+        full = GradientBoostingClassifier(
+            n_estimators=150, random_state=0
+        ).fit(Xtr, ytr)
+        acc_stopped = accuracy_score(yte, stopped.predict(Xte))
+        acc_full = accuracy_score(yte, full.predict(Xte))
+        assert acc_stopped >= acc_full - 0.05
+
+    def test_validation_curve_recorded(self):
+        X, y = _noisy_data()
+        model = GradientBoostingClassifier(
+            n_estimators=40, early_stopping_rounds=40, random_state=0
+        ).fit(X, y)
+        assert model.validation_curve
+        assert all(np.isfinite(v) for v in model.validation_curve)
+
+    def test_no_early_stopping_by_default(self):
+        X, y = _easy_data(120)
+        model = GradientBoostingClassifier(n_estimators=25, random_state=0).fit(X, y)
+        assert model.n_fitted_trees == 25
+        assert model.validation_curve == []
+
+    def test_parameter_validation(self):
+        with pytest.raises(TrainingError):
+            GradientBoostingClassifier(early_stopping_rounds=0)
+        with pytest.raises(TrainingError):
+            GradientBoostingClassifier(validation_fraction=1.5)
+
+    def test_too_few_samples(self):
+        X = np.zeros((3, 2))
+        y = np.array([0, 1, 0])
+        model = GradientBoostingClassifier(
+            n_estimators=5, early_stopping_rounds=2, validation_fraction=0.5
+        )
+        with pytest.raises(TrainingError):
+            model.fit(X, y)

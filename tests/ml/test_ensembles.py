@@ -1,0 +1,155 @@
+"""Boosted ensembles, random forest, and the StackModel."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotFittedError, TrainingError
+from repro.ml import (
+    GradientBoostingClassifier,
+    LightGBMClassifier,
+    RandomForestClassifier,
+    StackingClassifier,
+    StackModel,
+    XGBoostClassifier,
+    accuracy_score,
+    train_test_split,
+)
+
+
+def _nonlinear_data(n=600, seed=3):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 6))
+    logits = (
+        1.5 * X[:, 0]
+        - X[:, 1]
+        + 2.0 * (X[:, 2] > 0.3)
+        + X[:, 3] * X[:, 4]
+    )
+    y = (logits + rng.normal(scale=0.6, size=n) > 0).astype(int)
+    return train_test_split(X, y, test_size=0.3, random_state=1)
+
+
+MODELS = [
+    ("gbdt", lambda: GradientBoostingClassifier(n_estimators=50, random_state=0)),
+    ("xgb", lambda: XGBoostClassifier(n_estimators=50, random_state=0)),
+    ("lgbm", lambda: LightGBMClassifier(n_estimators=50, random_state=0)),
+    ("rf", lambda: RandomForestClassifier(n_estimators=30, random_state=0)),
+]
+
+
+@pytest.mark.parametrize("name,factory", MODELS)
+class TestCommonBehaviour:
+    def test_learns_nonlinear_boundary(self, name, factory):
+        Xtr, Xte, ytr, yte = _nonlinear_data()
+        model = factory().fit(Xtr, ytr)
+        assert accuracy_score(yte, model.predict(Xte)) > 0.78
+
+    def test_probabilities_valid(self, name, factory):
+        Xtr, Xte, ytr, yte = _nonlinear_data()
+        proba = factory().fit(Xtr, ytr).predict_proba(Xte)
+        assert proba.shape == (len(Xte), 2)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert (proba >= 0).all() and (proba <= 1).all()
+
+    def test_deterministic(self, name, factory):
+        Xtr, _Xte, ytr, _yte = _nonlinear_data(200)
+        a = factory().fit(Xtr, ytr).predict(Xtr)
+        b = factory().fit(Xtr, ytr).predict(Xtr)
+        assert np.array_equal(a, b)
+
+    def test_predict_before_fit(self, name, factory):
+        with pytest.raises(NotFittedError):
+            factory().predict(np.zeros((2, 6)))
+
+    def test_rejects_multiclass(self, name, factory):
+        X = np.random.default_rng(0).normal(size=(30, 3))
+        y = np.arange(30) % 3
+        with pytest.raises(TrainingError):
+            factory().fit(X, y)
+
+
+class TestBoostingSpecifics:
+    def test_more_stages_reduce_training_error(self):
+        Xtr, _, ytr, _ = _nonlinear_data(300)
+        few = GradientBoostingClassifier(n_estimators=5, random_state=0).fit(Xtr, ytr)
+        many = GradientBoostingClassifier(n_estimators=80, random_state=0).fit(Xtr, ytr)
+        assert accuracy_score(ytr, many.predict(Xtr)) >= accuracy_score(
+            ytr, few.predict(Xtr)
+        )
+
+    def test_subsample_still_learns(self):
+        Xtr, Xte, ytr, yte = _nonlinear_data()
+        model = GradientBoostingClassifier(
+            n_estimators=60, subsample=0.6, random_state=0
+        ).fit(Xtr, ytr)
+        assert accuracy_score(yte, model.predict(Xte)) > 0.78
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(TrainingError):
+            GradientBoostingClassifier(n_estimators=0)
+        with pytest.raises(TrainingError):
+            GradientBoostingClassifier(learning_rate=0.0)
+        with pytest.raises(TrainingError):
+            XGBoostClassifier(reg_lambda=-1)
+        with pytest.raises(TrainingError):
+            LightGBMClassifier(num_leaves=1)
+
+    def test_xgb_regularization_shrinks_leaves(self):
+        Xtr, _, ytr, _ = _nonlinear_data(300)
+        mild = XGBoostClassifier(n_estimators=10, reg_lambda=0.1, random_state=0)
+        harsh = XGBoostClassifier(n_estimators=10, reg_lambda=100.0, random_state=0)
+        mild.fit(Xtr, ytr)
+        harsh.fit(Xtr, ytr)
+        spread_mild = np.std(mild.decision_function(Xtr))
+        spread_harsh = np.std(harsh.decision_function(Xtr))
+        assert spread_harsh < spread_mild
+
+    def test_lgbm_leaf_budget(self):
+        Xtr, _, ytr, _ = _nonlinear_data(300)
+        model = LightGBMClassifier(n_estimators=3, num_leaves=4, random_state=0)
+        model.fit(Xtr, ytr)
+
+        def count_leaves(node):
+            if node.is_leaf:
+                return 1
+            return count_leaves(node.left) + count_leaves(node.right)
+
+        assert all(count_leaves(t.root) <= 4 for t in model._trees)
+
+    def test_decision_function_matches_predict(self):
+        Xtr, Xte, ytr, _ = _nonlinear_data(300)
+        model = XGBoostClassifier(n_estimators=20, random_state=0).fit(Xtr, ytr)
+        raw = model.decision_function(Xte)
+        assert np.array_equal(model.predict(Xte), (raw >= 0).astype(int))
+
+
+class TestStacking:
+    def test_stackmodel_beats_single_weak_tree(self):
+        Xtr, Xte, ytr, yte = _nonlinear_data(500)
+        stack = StackModel(n_estimators=20, random_state=0).fit(Xtr, ytr)
+        from repro.ml import DecisionTreeClassifier
+
+        weak = DecisionTreeClassifier(max_depth=2).fit(Xtr, ytr)
+        assert accuracy_score(yte, stack.predict(Xte)) >= accuracy_score(
+            yte, weak.predict(Xte)
+        )
+
+    def test_augment_appends_predictions_and_vote(self):
+        X = np.zeros((4, 3))
+        preds = [np.array([0.9, 0.1, 0.8, 0.2]), np.array([0.7, 0.3, 0.6, 0.4])]
+        out = StackingClassifier._augment(X, preds)
+        assert out.shape == (4, 3 + 2 + 1)
+        assert np.array_equal(out[:, -1], [1.0, 0.0, 1.0, 0.0])
+
+    def test_single_class_labels_rejected(self):
+        stack = StackModel(n_estimators=5, random_state=0)
+        with pytest.raises(TrainingError):
+            stack.fit(np.zeros((10, 2)), np.ones(10))
+
+    def test_empty_layer_rejected(self):
+        with pytest.raises(TrainingError):
+            StackingClassifier(layers=[[]], final_factory=lambda: None)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            StackModel(n_estimators=5).predict_proba(np.zeros((1, 4)))

@@ -1,0 +1,92 @@
+"""LightGBM internals: the binner and leaf-wise tree growth."""
+
+import numpy as np
+import pytest
+
+from repro.ml.lgbm import _Binner, _LGBMTree, LightGBMClassifier
+
+
+class TestBinner:
+    def test_transform_monotone_in_feature(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(500, 1))
+        binner = _Binner(max_bins=16).fit(X)
+        binned = binner.transform(X)
+        order = np.argsort(X[:, 0])
+        assert (np.diff(binned[order, 0]) >= 0).all()
+
+    def test_bin_count_bounded(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(300, 2))
+        binned = _Binner(max_bins=8).fit(X).transform(X)
+        assert binned.max() <= 8
+
+    def test_constant_feature_single_bin(self):
+        X = np.ones((50, 1))
+        binner = _Binner(max_bins=8).fit(X)
+        binned = binner.transform(X)
+        assert np.unique(binned).size == 1
+
+    def test_threshold_maps_bins_to_raw_space(self):
+        X = np.arange(100, dtype=float).reshape(-1, 1)
+        binner = _Binner(max_bins=4).fit(X)
+        binned = binner.transform(X)
+        for bin_index in range(int(binned.max())):
+            threshold = binner.threshold(0, bin_index)
+            # Everything in bins <= bin_index sits at/below the threshold.
+            assert X[binned[:, 0] <= bin_index, 0].max() <= threshold
+
+    def test_unseen_values_clamp_into_range(self):
+        X = np.linspace(0, 1, 100).reshape(-1, 1)
+        binner = _Binner(max_bins=8).fit(X)
+        extremes = binner.transform(np.array([[-100.0], [100.0]]))
+        assert extremes[0, 0] == 0
+        assert extremes[1, 0] == binner.transform(X).max()
+
+
+class TestLeafWiseTree:
+    def test_grows_best_first(self):
+        """With a budget of 3 leaves, the tree spends its splits on the
+        dimension with the largest gain."""
+        rng = np.random.default_rng(2)
+        X = rng.uniform(size=(400, 2))
+        # Feature 0 explains most variance; feature 1 a little.
+        y = (X[:, 0] > 0.5).astype(float) * 2.0 + (X[:, 1] > 0.5) * 0.2
+        grad = y - y.mean()
+        hess = np.ones_like(grad)
+        binner = _Binner(max_bins=32).fit(X)
+        tree = _LGBMTree(num_leaves=2, min_data_in_leaf=5, reg_lambda=1.0,
+                         min_gain=0.0)
+        tree.fit(binner.transform(X), grad, hess)
+        assert tree.root.feature == 0  # the first (only) split uses f0
+
+    def test_prediction_partitions_all_rows(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(200, 3))
+        y = (X[:, 0] > 0).astype(float)
+        model = LightGBMClassifier(n_estimators=5, num_leaves=8,
+                                   random_state=0).fit(X, y)
+        proba = model.predict_proba(X)
+        assert np.isfinite(proba).all()
+
+    def test_min_data_in_leaf_respected(self):
+        rng = np.random.default_rng(4)
+        X = rng.normal(size=(60, 2))
+        grad = rng.normal(size=60)
+        hess = np.ones(60)
+        binned = _Binner(max_bins=16).fit(X).transform(X)
+        tree = _LGBMTree(num_leaves=32, min_data_in_leaf=20, reg_lambda=1.0,
+                         min_gain=0.0)
+        tree.fit(binned, grad, hess)
+
+        def leaf_sizes(node, indices):
+            if node.is_leaf:
+                return [len(indices)]
+            mask = binned[indices, node.feature] <= node.threshold_bin
+            return leaf_sizes(node.left, indices[mask]) + leaf_sizes(
+                node.right, indices[~mask]
+            )
+
+        sizes = leaf_sizes(tree.root, np.arange(60))
+        assert all(size >= 20 for size in sizes)
+        assert sum(sizes) == 60

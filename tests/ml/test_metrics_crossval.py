@@ -1,0 +1,105 @@
+"""Metrics and cross-validation utilities."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.ml import (
+    accuracy_score,
+    classification_summary,
+    confusion_matrix,
+    cross_val_predict,
+    f1_score,
+    kfold_indices,
+    precision_score,
+    recall_score,
+    train_test_split,
+)
+from repro.ml.metrics import roc_auc_score
+
+
+class TestMetrics:
+    Y_TRUE = [1, 1, 1, 1, 0, 0, 0, 0]
+    Y_PRED = [1, 1, 0, 0, 0, 0, 0, 1]
+
+    def test_confusion_matrix(self):
+        matrix = confusion_matrix(self.Y_TRUE, self.Y_PRED)
+        assert matrix.tolist() == [[3, 1], [2, 2]]
+
+    def test_scores(self):
+        assert accuracy_score(self.Y_TRUE, self.Y_PRED) == pytest.approx(5 / 8)
+        assert precision_score(self.Y_TRUE, self.Y_PRED) == pytest.approx(2 / 3)
+        assert recall_score(self.Y_TRUE, self.Y_PRED) == pytest.approx(1 / 2)
+        expected_f1 = 2 * (2 / 3) * (1 / 2) / (2 / 3 + 1 / 2)
+        assert f1_score(self.Y_TRUE, self.Y_PRED) == pytest.approx(expected_f1)
+
+    def test_degenerate_precision_recall(self):
+        assert precision_score([0, 0], [0, 0]) == 0.0
+        assert recall_score([0, 0], [0, 0]) == 0.0
+        assert f1_score([1, 0], [0, 1]) == 0.0
+
+    def test_summary_object(self):
+        summary = classification_summary(self.Y_TRUE, self.Y_PRED)
+        assert summary.as_dict()["accuracy"] == pytest.approx(5 / 8)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(TrainingError):
+            accuracy_score([1, 0], [1])
+        with pytest.raises(TrainingError):
+            accuracy_score([], [])
+
+    def test_auc_perfect_and_random(self):
+        y = [0, 0, 1, 1]
+        assert roc_auc_score(y, [0.1, 0.2, 0.8, 0.9]) == 1.0
+        assert roc_auc_score(y, [0.9, 0.8, 0.2, 0.1]) == 0.0
+        assert roc_auc_score(y, [0.5, 0.5, 0.5, 0.5]) == pytest.approx(0.5)
+
+    def test_auc_requires_both_classes(self):
+        with pytest.raises(TrainingError):
+            roc_auc_score([1, 1], [0.1, 0.2])
+
+
+class TestSplits:
+    def test_train_test_split_sizes_and_stratification(self):
+        X = np.arange(100).reshape(-1, 1)
+        y = np.array([0] * 70 + [1] * 30)
+        Xtr, Xte, ytr, yte = train_test_split(X, y, test_size=0.3, random_state=0)
+        assert len(Xte) == 30
+        assert yte.sum() == 9  # 30% of the 30 positives
+        assert set(Xtr.ravel()) | set(Xte.ravel()) == set(range(100))
+        assert not set(Xtr.ravel()) & set(Xte.ravel())
+
+    def test_invalid_test_size(self):
+        with pytest.raises(TrainingError):
+            train_test_split(np.zeros((4, 1)), np.zeros(4), test_size=1.5)
+
+    def test_kfold_partitions(self):
+        folds = kfold_indices(23, n_splits=4, random_state=1)
+        assert len(folds) == 4
+        all_test = np.concatenate([test for _train, test in folds])
+        assert sorted(all_test) == list(range(23))
+        for train, test in folds:
+            assert not set(train) & set(test)
+            assert len(train) + len(test) == 23
+
+    def test_kfold_validation(self):
+        with pytest.raises(TrainingError):
+            kfold_indices(3, n_splits=5)
+        with pytest.raises(TrainingError):
+            kfold_indices(10, n_splits=1)
+
+    def test_cross_val_predict_covers_all_and_is_out_of_fold(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(120, 4))
+        y = (X[:, 0] > 0).astype(int)
+
+        from repro.ml import DecisionTreeClassifier
+
+        preds = cross_val_predict(
+            lambda: DecisionTreeClassifier(max_depth=3), X, y,
+            n_splits=5, random_state=0,
+        )
+        assert preds.shape == (120,)
+        assert (preds >= 0).all() and (preds <= 1).all()
+        # A depth-3 tree easily learns x0>0, so OOF predictions are good.
+        assert np.mean((preds >= 0.5).astype(int) == y) > 0.9

@@ -1,0 +1,85 @@
+"""CART tree tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotFittedError, TrainingError
+from repro.ml import DecisionTreeClassifier, DecisionTreeRegressor
+
+
+def _step_data(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1, 1, size=(n, 3))
+    y = np.where(X[:, 0] > 0.2, 1.0, -1.0)
+    return X, y
+
+
+class TestRegressor:
+    def test_fits_step_function(self):
+        X, y = _step_data()
+        tree = DecisionTreeRegressor(max_depth=2).fit(X, y)
+        assert np.mean((tree.predict(X) - y) ** 2) < 0.01
+
+    def test_depth_zero_predicts_mean(self):
+        X, y = _step_data()
+        tree = DecisionTreeRegressor(max_depth=0).fit(X, y)
+        assert np.allclose(tree.predict(X), y.mean())
+        assert tree.depth == 0 and tree.n_leaves == 1
+
+    def test_min_samples_leaf_respected(self):
+        X, y = _step_data(40)
+        tree = DecisionTreeRegressor(max_depth=10, min_samples_leaf=15).fit(X, y)
+        # With 40 samples and 15-per-leaf, at most 2 leaves are possible
+        # along any root split; depth is bounded accordingly.
+        assert tree.n_leaves <= 2
+
+    def test_constant_target_single_leaf(self):
+        X = np.random.default_rng(0).normal(size=(50, 2))
+        tree = DecisionTreeRegressor(max_depth=5).fit(X, np.ones(50))
+        assert tree.n_leaves == 1
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            DecisionTreeRegressor().predict(np.zeros((1, 2)))
+
+    def test_shape_validation(self):
+        with pytest.raises(TrainingError):
+            DecisionTreeRegressor().fit(np.zeros(5), np.zeros(5))
+        with pytest.raises(TrainingError):
+            DecisionTreeRegressor().fit(np.zeros((5, 2)), np.zeros(4))
+        tree = DecisionTreeRegressor().fit(np.zeros((5, 2)), np.zeros(5))
+        with pytest.raises(TrainingError):
+            tree.predict(np.zeros((3, 7)))
+
+    def test_deterministic_given_seed(self):
+        X, y = _step_data(100)
+        a = DecisionTreeRegressor(max_depth=4, max_features=2, random_state=1)
+        b = DecisionTreeRegressor(max_depth=4, max_features=2, random_state=1)
+        assert np.array_equal(a.fit(X, y).predict(X), b.fit(X, y).predict(X))
+
+    def test_duplicate_feature_values_handled(self):
+        X = np.array([[1.0], [1.0], [1.0], [2.0]])
+        y = np.array([0.0, 0.0, 0.0, 1.0])
+        tree = DecisionTreeRegressor(max_depth=3).fit(X, y)
+        assert tree.predict(np.array([[2.0]]))[0] == pytest.approx(1.0)
+
+
+class TestClassifier:
+    def test_binary_classification(self):
+        X, y = _step_data()
+        labels = (y > 0).astype(int)
+        clf = DecisionTreeClassifier(max_depth=3).fit(X, labels)
+        assert np.mean(clf.predict(X) == labels) > 0.98
+
+    def test_predict_proba_valid(self):
+        X, y = _step_data()
+        labels = (y > 0).astype(int)
+        proba = DecisionTreeClassifier(max_depth=3).fit(X, labels).predict_proba(X)
+        assert proba.shape == (len(X), 2)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert (proba >= 0).all() and (proba <= 1).all()
+
+    def test_rejects_non_binary_labels(self):
+        X = np.zeros((6, 2))
+        with pytest.raises(TrainingError):
+            DecisionTreeClassifier().fit(X, np.array([0, 1, 2, 0, 1, 2]))

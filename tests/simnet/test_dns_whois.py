@@ -1,0 +1,96 @@
+"""Domain registry and WHOIS semantics."""
+
+import pytest
+
+from repro.errors import DomainTakenError, UnknownDomainError
+from repro.simnet.dns import DomainRegistry
+from repro.simnet.url import parse_url
+from repro.simnet.whois import WhoisService
+
+DAY = 24 * 60
+YEAR = 365 * DAY
+
+
+@pytest.fixture()
+def registry():
+    reg = DomainRegistry()
+    reg.register("weebly.com", registered_at=-16 * YEAR, registrant="weebly")
+    reg.register("fresh-scam.xyz", registered_at=100, registrant="attacker")
+    return reg
+
+
+class TestRegistry:
+    def test_duplicate_registration_rejected(self, registry):
+        with pytest.raises(DomainTakenError):
+            registry.register("weebly.com", 0, "someone")
+
+    def test_subdomain_allocation(self, registry):
+        registry.add_subdomain("weebly.com", "scam.weebly.com")
+        record = registry.record_for("weebly.com")
+        assert "scam.weebly.com" in record.subdomains
+
+    def test_duplicate_subdomain_rejected(self, registry):
+        registry.add_subdomain("weebly.com", "scam.weebly.com")
+        with pytest.raises(DomainTakenError):
+            registry.add_subdomain("weebly.com", "scam.weebly.com")
+
+    def test_foreign_subdomain_rejected(self, registry):
+        with pytest.raises(UnknownDomainError):
+            registry.add_subdomain("weebly.com", "scam.wix.com")
+
+    def test_resolve_requires_allocation(self, registry):
+        url = parse_url("https://ghost.weebly.com/")
+        assert registry.resolve(url) is None
+        registry.add_subdomain("weebly.com", "ghost.weebly.com")
+        assert registry.resolve(url) is not None
+
+    def test_resolve_apex(self, registry):
+        assert registry.resolve(parse_url("https://weebly.com/")) is not None
+
+    def test_resolve_unknown_domain(self, registry):
+        assert registry.resolve(parse_url("https://nowhere.example.org/")) is None
+
+    def test_drop(self, registry):
+        registry.drop("fresh-scam.xyz")
+        assert "fresh-scam.xyz" not in registry
+        with pytest.raises(UnknownDomainError):
+            registry.drop("fresh-scam.xyz")
+
+    def test_domains_of(self, registry):
+        assert [r.domain for r in registry.domains_of("attacker")] == ["fresh-scam.xyz"]
+
+    def test_case_insensitive(self, registry):
+        assert "WEEBLY.COM".lower() in registry
+        assert registry.record_for("WEEBLY.COM").domain == "weebly.com"
+
+
+class TestWhois:
+    def test_subdomain_inherits_fwb_age(self, registry):
+        """The paper's key evasion: FWB subdomains look ancient to WHOIS."""
+        registry.add_subdomain("weebly.com", "scam.weebly.com")
+        whois = WhoisService(registry)
+        record = whois.lookup("scam.weebly.com", now=0)
+        assert record is not None
+        assert record.age_years == pytest.approx(16, abs=0.1)
+        assert record.registered_domain == "weebly.com"
+
+    def test_fresh_self_hosted_age(self, registry):
+        whois = WhoisService(registry)
+        record = whois.lookup("fresh-scam.xyz", now=100 + 3 * DAY)
+        assert record.age_days == pytest.approx(3.0)
+
+    def test_unknown_domain_returns_none(self, registry):
+        whois = WhoisService(registry)
+        assert whois.lookup("unknown.example.net", now=0) is None
+        assert whois.domain_age_days("unknown.example.net", now=0) is None
+
+    def test_accepts_url_objects(self, registry):
+        whois = WhoisService(registry)
+        record = whois.lookup(parse_url("https://fresh-scam.xyz/login"), now=200)
+        assert record is not None
+        assert record.queried_host == "fresh-scam.xyz"
+
+    def test_age_clamped_at_zero(self, registry):
+        whois = WhoisService(registry)
+        record = whois.lookup("fresh-scam.xyz", now=0)  # before registration
+        assert record.age_minutes == 0

@@ -1,0 +1,115 @@
+"""FWB service-profile invariants from the paper."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.simnet.fwb import (
+    FWBPolicy,
+    FWBService,
+    ReportResponsiveness,
+    default_fwb_services,
+    fwb_by_name,
+    fwb_domain_index,
+)
+from repro.simnet.tls import ValidationLevel
+from repro.simnet.url import parse_url
+
+
+@pytest.fixture(scope="module")
+def services():
+    return default_fwb_services()
+
+
+class TestCatalogInvariants:
+    def test_seventeen_services(self, services):
+        assert len(services) == 17
+
+    def test_attacker_weights_sum_to_paper_total(self, services):
+        assert sum(s.attacker_weight for s in services) == 31405
+
+    def test_fourteen_of_seventeen_offer_com(self, services):
+        """§3 'Premium TLDs': 14 of 17 FWBs provide a .com TLD."""
+        assert sum(1 for s in services if s.offers_com_tld) == 14
+
+    def test_all_certs_ov_or_ev(self, services):
+        assert all(
+            s.cert_level in (ValidationLevel.OV, ValidationLevel.EV)
+            for s in services
+        )
+
+    def test_domains_unique(self, services):
+        domains = [s.domain for s in services]
+        assert len(set(domains)) == len(domains)
+
+    def test_services_are_old(self, services):
+        """Every FWB predates the epoch by years (domain-age evasion)."""
+        assert all(s.founded_years_before_epoch >= 5 for s in services)
+        assert all(s.registered_at < 0 for s in services)
+
+    def test_silent_desks_match_paper(self, services):
+        """WordPress, GoDaddy, Firebase, Sharepoint, Yolasite never respond."""
+        silent = {
+            s.name for s in services
+            if s.policy.responsiveness == ReportResponsiveness.SILENT
+        }
+        assert {"wordpress", "godaddysites", "firebase", "sharepoint",
+                "yolasite"} <= silent
+
+    def test_responsive_desks_match_paper(self, services):
+        responsive = {
+            s.name for s in services
+            if s.policy.responsiveness == ReportResponsiveness.RESPONSIVE
+        }
+        assert {"weebly", "000webhost", "wix", "zoho_forms"} <= responsive
+
+    def test_evasive_services(self, services):
+        """§5.5: Google Sites / Sharepoint / Google Forms / Blogspot host
+        most evasive attacks."""
+        shares = {s.name: s.evasive_share for s in services}
+        for evasive in ("google_sites", "sharepoint", "google_forms", "blogspot"):
+            assert shares[evasive] > 0.3
+        assert shares["weebly"] < 0.1
+
+
+class TestServiceApi:
+    def test_lookup_by_name(self, services):
+        assert fwb_by_name("weebly", services).domain == "weebly.com"
+        with pytest.raises(ConfigError):
+            fwb_by_name("not-a-service", services)
+
+    def test_site_host(self, services):
+        weebly = fwb_by_name("weebly", services)
+        assert weebly.site_host("my-scam") == "my-scam.weebly.com"
+
+    def test_owns_url(self, services):
+        weebly = fwb_by_name("weebly", services)
+        assert weebly.owns_url(parse_url("https://x.weebly.com/"))
+        assert not weebly.owns_url(parse_url("https://weebly.com/"))  # apex
+        assert not weebly.owns_url(parse_url("https://x.wixsite.com/"))
+
+    def test_domain_index(self, services):
+        index = fwb_domain_index(services)
+        assert index["weebly.com"].name == "weebly"
+        assert len(index) == 17
+
+
+class TestPolicyValidation:
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ConfigError):
+            FWBPolicy(removal_rate=1.5, median_removal_minutes=10,
+                      responsiveness="silent", response_rate=0.0)
+        with pytest.raises(ConfigError):
+            FWBPolicy(removal_rate=0.5, median_removal_minutes=-1,
+                      responsiveness="silent", response_rate=0.0)
+
+    def test_invalid_service_config_rejected(self):
+        with pytest.raises(ConfigError):
+            FWBService(
+                name="x", domain="x.com", organization="X",
+                founded_years_before_epoch=1.0,
+                cert_level=ValidationLevel.OV, has_banner=False,
+                allows_custom_html=True, allows_credential_forms=True,
+                attacker_weight=1,
+                policy=FWBPolicy(0.5, 10, "silent", 0.0),
+                evasive_share=0.5, evasive_mix=(0.5, 0.2, 0.2),  # sums to 0.9
+            )

@@ -1,0 +1,115 @@
+"""Hosting providers, takedowns, and the assembled Web."""
+
+import pytest
+
+from repro.errors import DomainTakenError
+from repro.simnet import Web
+from repro.simnet.hosting import FileAsset, SiteStatus
+from repro.simnet.url import parse_url
+
+
+@pytest.fixture()
+def web():
+    return Web()
+
+
+class TestFWBHosting:
+    def test_create_site_allocates_subdomain(self, web):
+        provider = web.fwb_providers["weebly"]
+        site = provider.create_site("my-page", owner="user", now=10)
+        assert site.host == "my-page.weebly.com"
+        assert web.registry.resolve(site.root_url) is not None
+
+    def test_site_name_collision(self, web):
+        provider = web.fwb_providers["weebly"]
+        provider.create_site("taken", owner="a", now=0)
+        with pytest.raises(DomainTakenError):
+            provider.create_site("taken", owner="b", now=1)
+
+    def test_no_ct_entry_for_customer_site(self, web):
+        provider = web.fwb_providers["wix"]
+        site = provider.create_site("scampage", owner="attacker", now=0)
+        assert not web.ct_log.contains_host(site.host)
+
+    def test_take_down_frees_subdomain_and_kills_site(self, web):
+        provider = web.fwb_providers["weebly"]
+        site = provider.create_site("gone", owner="attacker", now=0)
+        assert provider.take_down(site.host, now=50)
+        assert site.status is SiteStatus.REMOVED
+        assert site.removed_at == 50
+        assert not site.is_active(60)
+        assert web.registry.resolve(site.root_url) is None
+
+    def test_take_down_idempotent(self, web):
+        provider = web.fwb_providers["weebly"]
+        site = provider.create_site("once", owner="attacker", now=0)
+        assert provider.take_down(site.host, now=5)
+        assert not provider.take_down(site.host, now=6)
+
+    def test_pages_and_files(self, web):
+        provider = web.fwb_providers["weebly"]
+        site = provider.create_site("content", owner="user", now=0)
+        site.add_page("/", "<html></html>")
+        site.add_file("/doc.zip", FileAsset("doc.zip", malicious=True, vt_detections=9))
+        assert site.page_for(parse_url("https://content.weebly.com/")) == "<html></html>"
+        asset = site.file_for(parse_url("https://content.weebly.com/doc.zip"))
+        assert asset is not None and asset.malicious
+
+
+class TestSelfHosting:
+    def test_create_registers_domain_and_logs_cert(self, web):
+        site = web.self_hosting.create_site("scam-login.xyz", owner="attacker", now=7)
+        assert "scam-login.xyz" in web.registry
+        assert web.ct_log.contains_host("scam-login.xyz")
+        assert site.root_url.scheme == "https"
+
+    def test_http_site_has_no_certificate(self, web):
+        site = web.self_hosting.create_site("plain.top", owner="attacker", now=0,
+                                            https=False)
+        assert site.root_url.scheme == "http"
+        assert not web.ct_log.contains_host("plain.top")
+
+    def test_takedown_drops_domain(self, web):
+        web.self_hosting.create_site("brief.xyz", owner="attacker", now=0)
+        assert web.self_hosting.take_down("brief.xyz", now=10)
+        assert "brief.xyz" not in web.registry
+
+    def test_backdated_registration(self, web):
+        site = web.self_hosting.create_site(
+            "old-blog.com", owner="user", now=1000, registered_at=-100000
+        )
+        record = web.whois.lookup(site.root_url, now=1000)
+        assert record.age_minutes == 101000
+
+
+class TestWebAssembly:
+    def test_seventeen_providers(self, web):
+        assert len(web.fwb_providers) == 17
+
+    def test_fwb_attribution(self, web):
+        provider = web.fwb_providers["blogspot"]
+        site = provider.create_site("scam-blog", owner="attacker", now=0)
+        service = web.fwb_for(site.root_url)
+        assert service is not None and service.name == "blogspot"
+        # Apex is the service itself, not a customer site.
+        assert web.fwb_for(parse_url("https://blogspot.com/")) is None
+        assert web.fwb_for(parse_url("https://other.example.com/")) is None
+
+    def test_site_lookup_across_providers(self, web):
+        fwb_site = web.fwb_providers["weebly"].create_site("a", owner="u", now=0)
+        self_site = web.self_hosting.create_site("b-site.com", owner="u", now=0)
+        assert web.site_for(fwb_site.root_url) is fwb_site
+        assert web.site_for(self_site.root_url) is self_site
+        assert web.site_for(parse_url("https://nope.example.net/")) is None
+
+    def test_web_take_down_and_is_active(self, web):
+        site = web.fwb_providers["wix"].create_site("z", owner="attacker", now=0)
+        assert web.is_active(site.root_url, 10)
+        assert web.take_down(site.root_url, 20)
+        assert not web.is_active(site.root_url, 30)
+
+    def test_iter_sites(self, web):
+        web.fwb_providers["weebly"].create_site("s1", owner="u", now=0)
+        web.self_hosting.create_site("s2-site.com", owner="u", now=0)
+        hosts = {s.host for s in web.iter_sites()}
+        assert {"s1.weebly.com", "s2-site.com"} <= hosts

@@ -1,0 +1,95 @@
+"""Brand catalogue and name-generation tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.sitegen import names
+from repro.sitegen.brands import (
+    Brand,
+    BrandCatalog,
+    PAPER_BRAND_COUNT,
+    default_brand_catalog,
+)
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return default_brand_catalog()
+
+
+class TestCatalog:
+    def test_exactly_109_brands(self, catalog):
+        assert len(catalog) == PAPER_BRAND_COUNT
+
+    def test_slugs_unique(self, catalog):
+        slugs = [b.slug for b in catalog]
+        assert len(set(slugs)) == len(slugs)
+
+    def test_zipf_head_dominates(self, catalog):
+        weights = sorted((b.weight for b in catalog), reverse=True)
+        assert weights[0] > 10 * weights[40]
+
+    def test_sampling_follows_weights(self, catalog):
+        rng = np.random.default_rng(0)
+        sampled = catalog.sample_many(rng, 3000)
+        counts = {}
+        for brand in sampled:
+            counts[brand.slug] = counts.get(brand.slug, 0) + 1
+        top = max(counts, key=counts.get)
+        # The most-sampled brand should be one of the head entries.
+        head = [b.slug for b in catalog][:5]
+        assert top in head
+
+    def test_by_slug(self, catalog):
+        assert catalog.by_slug("paypaul").name == "PayPaul"
+        with pytest.raises(ConfigError):
+            catalog.by_slug("nonexistent")
+
+    def test_tokens_ascii_and_nongeneric(self, catalog):
+        for brand in catalog:
+            tokens = brand.tokens()
+            assert tokens, brand.slug
+            assert all(t.isascii() for t in tokens)
+            assert "bank" not in tokens
+
+    def test_name_words_included_in_tokens(self, catalog):
+        office = catalog.by_slug("office365")
+        assert "office" in office.tokens()
+
+    def test_catalog_validation(self):
+        with pytest.raises(ConfigError):
+            BrandCatalog([])
+        brand = Brand("X", "x", "cat", "x.com", "#fff", weight=1.0)
+        with pytest.raises(ConfigError):
+            BrandCatalog([brand, brand])  # duplicate slug
+
+
+class TestNames:
+    def test_gibberish_length_and_charset(self, rng):
+        for _ in range(50):
+            token = names.gibberish(rng)
+            assert 8 <= len(token) <= 14
+            assert token.isalpha() and token.islower()
+
+    def test_deceptive_name_embeds_brand(self, rng):
+        for _ in range(30):
+            name = names.deceptive_site_name(rng, ["paypaul"])
+            assert "paypaul" in name
+
+    def test_benign_names_look_benign(self, rng):
+        for _ in range(30):
+            name = names.benign_site_name(rng)
+            assert not any(w in name for w in ("login", "verify", "secure"))
+
+    def test_kit_domain_tld_mix(self, rng):
+        tlds = [names.kit_domain(rng, ["acme"]).rsplit(".", 1)[1]
+                for _ in range(300)]
+        cheap = sum(1 for t in tlds if t in names.CHEAP_TLDS)
+        assert cheap > 200  # cheap TLDs dominate (§6)
+        assert any(t in names.PREMIUM_TLDS for t in tlds)  # but some .com exist
+
+    def test_benign_domain_premium_tld(self, rng):
+        for _ in range(20):
+            domain = names.benign_domain(rng)
+            assert domain.rsplit(".", 1)[1] in names.PREMIUM_TLDS

@@ -1,0 +1,97 @@
+"""End-to-end integration: the complete study at miniature scale.
+
+Runs the full pipeline with no fixture shortcuts — world assembly, training,
+campaign, timeline resolution, table/figure building — and checks that the
+paper's qualitative conclusions all hold simultaneously on one run.
+"""
+
+import numpy as np
+import pytest
+
+from repro import CampaignWorld, SimulationConfig
+from repro.analysis import (
+    build_fig6,
+    build_fig7,
+    build_fig9,
+    build_table3,
+    build_table4,
+)
+from repro.analysis.report import render_table3
+
+
+@pytest.fixture(scope="module")
+def study():
+    config = SimulationConfig(seed=77, duration_days=3, target_fwb_phishing=250)
+    world = CampaignWorld(config, train_samples_per_class=120)
+    result = world.run()
+    return world, result
+
+
+class TestEndToEnd:
+    def test_framework_detected_most_attacks(self, study):
+        world, result = study
+        # Attacker launched ~2x target (FWB + self-hosted); the classifier
+        # should catch the large majority of what the stream delivered.
+        launched = len(world.attacker.launched)
+        assert result.detections > 0.75 * launched
+
+    def test_no_benign_url_contamination(self, study):
+        _world, result = study
+        false_positives = [
+            t for t in result.timelines if not t.is_phishing_truth
+        ]
+        assert len(false_positives) <= 0.05 * len(result.timelines)
+
+    def test_paper_conclusion_blocklists(self, study):
+        _world, result = study
+        rows = build_table3(result.timelines)
+        text = render_table3(rows)
+        assert "gsb" in text
+        for row in rows:
+            assert row.self_hosted.coverage >= row.fwb.coverage, row.entity
+
+    def test_paper_conclusion_persistence(self, study):
+        """FWB attacks persist much longer on every axis."""
+        _world, result = study
+        fwb = result.fwb_timelines
+        self_hosted = result.self_hosted_timelines
+
+        def alive_after_week(timelines, extractor):
+            return np.mean([extractor(t) is None for t in timelines])
+
+        assert alive_after_week(fwb, lambda t: t.post_removal_offset) > \
+            alive_after_week(self_hosted, lambda t: t.post_removal_offset)
+        assert alive_after_week(fwb, lambda t: t.site_removal_offset) > \
+            alive_after_week(self_hosted, lambda t: t.site_removal_offset)
+
+    def test_paper_conclusion_detection_counts(self, study):
+        _world, result = study
+        fwb_median = np.median([t.vt_final() for t in result.fwb_timelines])
+        self_median = np.median([t.vt_final() for t in result.self_hosted_timelines])
+        assert self_median > fwb_median
+
+    def test_figures_build_from_one_run(self, study):
+        _world, result = study
+        for builder in (build_fig6, build_fig7, build_fig9):
+            figure = builder(result.timelines)
+            assert figure.series
+        rows = build_table4(result.timelines)
+        assert sum(row.n_urls for row in rows) == len(result.fwb_timelines)
+
+    def test_extension_blocks_campaign_urls(self, study):
+        from repro import FreePhishExtension
+        from repro.simnet.url import parse_url
+
+        world, result = study
+        extension = FreePhishExtension(world.web, world.classifier)
+        extension.update_feed(world.framework.detected_urls())
+        sample = [t.url for t in result.fwb_timelines[:10]]
+        verdicts = [extension.check(parse_url(u), now=10 ** 7) for u in sample]
+        blocked = sum(1 for v in verdicts if v.name.startswith("BLOCKED"))
+        assert blocked == len(sample)
+
+    def test_reporting_matches_detections(self, study):
+        world, result = study
+        assert len(world.reporting.reports) == result.detections
+        fwb_reports = [r for r in world.reporting.reports if r.fwb_name]
+        assert len(fwb_reports) == len(result.fwb_timelines)
