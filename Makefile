@@ -1,10 +1,13 @@
-.PHONY: install test bench examples all
+.PHONY: install test lint bench examples all
 
 install:
 	pip install -e . || python setup.py develop
 
 test:
 	pytest tests/
+
+lint:
+	PYTHONPATH=src python -m repro.lint src tests examples benchmarks scripts
 
 bench:
 	pytest benchmarks/ --benchmark-only -s
@@ -17,4 +20,4 @@ examples:
 	python examples/historical_analysis.py
 	python examples/measurement_campaign.py --days 2 --target 150
 
-all: install test bench
+all: install lint test bench

@@ -18,7 +18,13 @@ Quick start::
     print(render_rows(build_table3(result.timelines)))
 """
 
-from .config import RngFactory, SimulationConfig, minutes_to_hhmm, hhmm_to_minutes
+from .config import (
+    RngFactory,
+    SeedBank,
+    SimulationConfig,
+    minutes_to_hhmm,
+    hhmm_to_minutes,
+)
 from .errors import ReproError
 from .core.classifier import FreePhishClassifier
 from .core.extension import FreePhishExtension, NavigationVerdict
@@ -32,6 +38,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "RngFactory",
+    "SeedBank",
     "SimulationConfig",
     "minutes_to_hhmm",
     "hhmm_to_minutes",

@@ -113,20 +113,20 @@ def _cmd_table2(args: argparse.Namespace) -> int:
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
-    import numpy as np
-
+    from .config import SeedBank
     from .core.classifier import FreePhishClassifier
     from .core.preprocess import Preprocessor
     from .ml import RandomForestClassifier
     from .sim import build_ground_truth
     from .sitegen import PhishingSiteGenerator
 
+    bank = SeedBank(args.seed)
     dataset = build_ground_truth(n_per_class=120, seed=args.seed)
     classifier = FreePhishClassifier(
         model=RandomForestClassifier(n_estimators=40, random_state=args.seed)
     )
     classifier.fit_pages(dataset.pages, dataset.labels)
-    rng = np.random.default_rng(args.seed + 1)
+    rng = bank.fresh("cli.demo")
     web = dataset.web
     provider = web.fwb_providers["weebly"]
     site = PhishingSiteGenerator().create_site(provider, now=0, rng=rng)

@@ -4,11 +4,14 @@ Every stochastic component in the library receives a ``numpy.random.Generator``
 derived from a single root seed, so that full campaigns are reproducible
 bit-for-bit. Components ask for a *named* child generator::
 
-    rng = RngFactory(seed=7).child("social.twitter")
+    rng = SeedBank(seed=7).child("social.twitter")
 
 The same (seed, name) pair always yields the same stream, and distinct names
 yield independent streams, so adding a new consumer never perturbs existing
-ones.
+ones. Components that take an integer seed (rather than a generator) draw a
+*named* derived seed from :meth:`SeedBank.child_seed` — never ad-hoc
+arithmetic like ``seed + 1``, which collides the moment two call sites pick
+the same offset (reprolint's RP1xx family polices the related RNG rules).
 
 Time is modelled as integer **minutes** since the simulation epoch; helpers
 here convert between minutes, hours and ``hh:mm`` strings used by the paper's
@@ -48,13 +51,13 @@ def _stable_hash(name: str) -> int:
     return int.from_bytes(digest[:8], "big")
 
 
-class RngFactory:
-    """Factory of named, independent ``numpy.random.Generator`` streams.
+class SeedBank:
+    """Bank of named, independent ``numpy.random.Generator`` streams.
 
     Parameters
     ----------
     seed:
-        Root seed. Two factories with the same seed produce identical child
+        Root seed. Two banks with the same seed produce identical child
         streams for identical names.
     """
 
@@ -79,6 +82,20 @@ class RngFactory:
         """Return a *new* generator for ``name`` starting at stream origin."""
         seq = np.random.SeedSequence([self.seed, _stable_hash(name)])
         return np.random.default_rng(seq)
+
+    def child_seed(self, name: str) -> int:
+        """Return a stable derived *integer* seed for ``name``.
+
+        For components that take a seed rather than a generator. Replaces
+        ad-hoc arithmetic like ``seed + 1``: derived seeds are independent
+        per name and never collide between call sites.
+        """
+        return _stable_hash(f"{self.seed}:{name}") % (2 ** 31)
+
+
+#: Backwards-compatible alias: the class was named RngFactory before the
+#: named-integer-seed API landed.
+RngFactory = SeedBank
 
 
 def minutes_to_hhmm(minutes: float) -> str:
@@ -138,8 +155,11 @@ class SimulationConfig:
     def duration_minutes(self) -> int:
         return self.duration_days * MINUTES_PER_DAY
 
-    def rng_factory(self) -> RngFactory:
-        return RngFactory(self.seed)
+    def seed_bank(self) -> SeedBank:
+        return SeedBank(self.seed)
+
+    #: Backwards-compatible alias for :meth:`seed_bank`.
+    rng_factory = seed_bank
 
     def scaled(self, fraction: float, seed: Optional[int] = None) -> "SimulationConfig":
         """Return a copy with the workload scaled by ``fraction``.

@@ -23,7 +23,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..config import _stable_hash
+from ..config import SeedBank, _stable_hash
 from ..errors import ConfigError
 from ..simnet.url import URL
 from .intel import IntelService, UrlIntel, suspicion_score
@@ -169,12 +169,13 @@ def default_blocklists(
     table = dict(DEFAULT_BEHAVIORS)
     if behaviors:
         table.update(behaviors)
+    bank = SeedBank(seed)
     return {
         name: Blocklist(
             name=name,
             behavior=table[name],
             intel_service=intel_service,
-            seed=seed + _stable_hash(name) % (2 ** 31),
+            seed=bank.child_seed(f"blocklist.{name}"),
         )
         for name in BLOCKLIST_NAMES
     }

@@ -17,7 +17,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..config import RngFactory, _stable_hash
+from ..config import SeedBank, _stable_hash
 from ..errors import ConfigError
 from .intel import DEFAULT_WEIGHTS, UrlIntel, suspicion_score
 
@@ -112,10 +112,10 @@ class DetectionEngine:
 
 
 def default_engine_fleet(
-    rng_factory: Optional[RngFactory] = None,
+    rng_factory: Optional[SeedBank] = None,
 ) -> List[DetectionEngine]:
     """Build the 76-engine fleet with deterministic per-engine profiles."""
-    factory = rng_factory if rng_factory is not None else RngFactory()
+    factory = rng_factory if rng_factory is not None else SeedBank()
     fleet: List[DetectionEngine] = []
     for archetype, count in FLEET_MIX:
         for index in range(count):

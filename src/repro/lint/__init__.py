@@ -1,0 +1,37 @@
+"""reprolint: AST-based invariant checker for the FreePhish reproduction.
+
+The reproduction's scientific claim — every table and figure is a
+deterministic function of one seed — is enforced here as machine-checked
+rules rather than conventions. See ``docs/LINTING.md`` for the rule
+catalogue and suppression syntax, and run::
+
+    python -m repro.lint src tests examples benchmarks
+
+Public API::
+
+    from repro.lint import run_lint, RULES
+    report = run_lint([Path("src")], project_root=Path("."))
+    assert report.exit_code() == 0
+"""
+
+from .project import ProjectContext
+from .report import Finding, LintReport, Severity
+from .rules import RULES, RULES_BY_ID, Rule, select_rules
+from .suppress import SuppressionIndex
+from .visitor import FileChecker, classify_scope, iter_python_files, run_lint
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "Severity",
+    "Rule",
+    "RULES",
+    "RULES_BY_ID",
+    "select_rules",
+    "SuppressionIndex",
+    "ProjectContext",
+    "FileChecker",
+    "classify_scope",
+    "iter_python_files",
+    "run_lint",
+]

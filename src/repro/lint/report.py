@@ -1,0 +1,140 @@
+"""Findings, severities, and the text/JSON reporters for ``repro.lint``.
+
+A :class:`Finding` is one rule violation at one source location. The
+:class:`LintReport` aggregates findings across files and knows the
+severity-aware exit code contract:
+
+* ``0`` — no findings at or above the failure threshold;
+* ``1`` — only warnings (when the threshold is ``warning``);
+* ``2`` — at least one error;
+* ``3`` — the linter itself failed (unreadable path, internal error).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional
+
+#: Schema version stamped into JSON output so downstream consumers can
+#: detect format changes.
+JSON_SCHEMA_VERSION = 1
+
+EXIT_CLEAN = 0
+EXIT_WARNINGS = 1
+EXIT_ERRORS = 2
+EXIT_INTERNAL = 3
+
+
+class Severity(str, Enum):
+    """How bad a finding is; drives the exit code."""
+
+    WARNING = "warning"
+    ERROR = "error"
+
+    @property
+    def rank(self) -> int:
+        return 1 if self is Severity.WARNING else 2
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one location."""
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    severity: Severity
+    message: str
+    suppressed: bool = False
+    suppress_reason: Optional[str] = None
+
+    def sort_key(self):
+        return (self.path, self.line, self.col, self.rule_id)
+
+    def to_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "severity": self.severity.value,
+            "message": self.message,
+        }
+        if self.suppressed:
+            payload["suppressed"] = True
+            payload["suppress_reason"] = self.suppress_reason
+        return payload
+
+
+@dataclass
+class LintReport:
+    """All findings from one linter run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    def add(self, finding: Finding) -> None:
+        (self.suppressed if finding.suppressed else self.findings).append(finding)
+
+    def extend(self, other: "LintReport") -> None:
+        self.findings.extend(other.findings)
+        self.suppressed.extend(other.suppressed)
+        self.files_checked += other.files_checked
+
+    @property
+    def n_errors(self) -> int:
+        return sum(1 for f in self.findings if f.severity is Severity.ERROR)
+
+    @property
+    def n_warnings(self) -> int:
+        return sum(1 for f in self.findings if f.severity is Severity.WARNING)
+
+    def exit_code(self, fail_on: Severity = Severity.WARNING) -> int:
+        if self.n_errors:
+            return EXIT_ERRORS
+        if self.n_warnings and fail_on is Severity.WARNING:
+            return EXIT_WARNINGS
+        return EXIT_CLEAN
+
+    # -- renderers -------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        ordered = sorted(self.findings, key=Finding.sort_key)
+        return {
+            "version": JSON_SCHEMA_VERSION,
+            "findings": [f.to_dict() for f in ordered],
+            "summary": {
+                "errors": self.n_errors,
+                "warnings": self.n_warnings,
+                "suppressed": len(self.suppressed),
+                "files": self.files_checked,
+            },
+        }
+
+    def render_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def render_text(self, show_suppressed: bool = False) -> str:
+        lines: List[str] = []
+        for finding in sorted(self.findings, key=Finding.sort_key):
+            lines.append(
+                f"{finding.path}:{finding.line}:{finding.col}: "
+                f"{finding.rule_id} [{finding.severity.value}] {finding.message}"
+            )
+        if show_suppressed:
+            for finding in sorted(self.suppressed, key=Finding.sort_key):
+                reason = f" ({finding.suppress_reason})" if finding.suppress_reason else ""
+                lines.append(
+                    f"{finding.path}:{finding.line}:{finding.col}: "
+                    f"{finding.rule_id} suppressed{reason}"
+                )
+        lines.append(
+            f"checked {self.files_checked} files: "
+            f"{self.n_errors} errors, {self.n_warnings} warnings, "
+            f"{len(self.suppressed)} suppressed"
+        )
+        return "\n".join(lines)

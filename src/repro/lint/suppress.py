@@ -1,0 +1,85 @@
+"""Per-line ``# reprolint: disable=RPxxx`` suppression parsing.
+
+A suppression comment names the rule IDs it silences and (by convention,
+enforced in review) a justification::
+
+    rng = np.random.default_rng()  # reprolint: disable=RP103 — demo only
+
+The directive applies to every physical line the suppressed statement
+spans, so multi-line calls can carry the comment on any of their lines.
+A file-wide form exists for generated or fixture-heavy modules::
+
+    # reprolint: disable-file=RP301 — fixture uses synthetic feature names
+
+Comments are located with :mod:`tokenize`, so ``#`` characters inside
+string literals never parse as directives.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Tuple
+
+#: ``disable=`` / ``disable-file=`` followed by comma-separated rule IDs,
+#: optionally followed by a dash/colon-separated free-text justification.
+_DIRECTIVE_RE = re.compile(
+    r"#\s*reprolint:\s*(?P<kind>disable|disable-file)\s*=\s*"
+    r"(?P<rules>RP\d{3}(?:\s*,\s*RP\d{3})*)"
+    r"(?:\s*(?:[-–—:]+)\s*(?P<reason>.*\S))?\s*$"
+)
+
+
+@dataclass
+class SuppressionIndex:
+    """Maps source lines to the rule IDs suppressed there."""
+
+    line_rules: Dict[int, Set[str]] = field(default_factory=dict)
+    file_rules: Set[str] = field(default_factory=set)
+    reasons: Dict[Tuple[int, str], str] = field(default_factory=dict)
+    file_reasons: Dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def from_source(cls, source: str) -> "SuppressionIndex":
+        index = cls()
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+            for token in tokens:
+                if token.type != tokenize.COMMENT:
+                    continue
+                match = _DIRECTIVE_RE.search(token.string)
+                if match is None:
+                    continue
+                rules = {r.strip() for r in match.group("rules").split(",")}
+                reason = match.group("reason")
+                line = token.start[0]
+                if match.group("kind") == "disable-file":
+                    index.file_rules |= rules
+                    for rule in rules:
+                        if reason:
+                            index.file_reasons[rule] = reason
+                else:
+                    index.line_rules.setdefault(line, set()).update(rules)
+                    for rule in rules:
+                        if reason:
+                            index.reasons[(line, rule)] = reason
+        except tokenize.TokenError:
+            # Unterminated strings etc.; the AST parse will report the
+            # syntax error, so an empty index is the right fallback.
+            pass
+        return index
+
+    def find(
+        self, rule_id: str, first_line: int, last_line: Optional[int] = None
+    ) -> Optional[Tuple[bool, Optional[str]]]:
+        """Return ``(True, reason)`` if ``rule_id`` is suppressed on any
+        physical line of ``first_line..last_line``, else ``None``."""
+        if rule_id in self.file_rules:
+            return True, self.file_reasons.get(rule_id)
+        last = first_line if last_line is None else last_line
+        for line in range(first_line, last + 1):
+            if rule_id in self.line_rules.get(line, ()):
+                return True, self.reasons.get((line, rule_id))
+        return None

@@ -205,9 +205,9 @@ class HistoricalPipeline:
         browser = Browser(self.web)
         intel = IntelService(self.web, browser)
         from ..ecosystem.engines import default_engine_fleet
-        from ..config import RngFactory
+        from ..config import SeedBank
 
-        virustotal = VirusTotal(default_engine_fleet(RngFactory(self.seed)), intel)
+        virustotal = VirusTotal(default_engine_fleet(SeedBank(self.seed)), intel)
         dataset = D1Dataset()
         dyndns_domains = {domain for _n, domain in DYNDNS_PROVIDERS}
         week = 7 * 24 * 60

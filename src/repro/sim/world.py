@@ -22,7 +22,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from ..config import RngFactory, SimulationConfig
+from ..config import SeedBank, SimulationConfig
 from ..core.classifier import FreePhishClassifier
 from ..core.framework import FreePhish
 from ..core.monitor import AnalysisModule, UrlTimeline
@@ -72,7 +72,7 @@ class CampaignWorld:
         use_light_classifier: bool = True,
     ) -> None:
         self.config = config if config is not None else SimulationConfig()
-        self.rng_factory = RngFactory(self.config.seed)
+        self.rng_factory = SeedBank(self.config.seed)
 
         # Substrate.
         self.web = Web()
@@ -96,7 +96,7 @@ class CampaignWorld:
         }
         self.registrar = RegistrarDesk(
             self.web.self_hosting, self.web, self.intel,
-            seed=self.config.seed + 13,
+            seed=self.rng_factory.child_seed("ecosystem.registrar"),
         )
 
         # Behaviour models.
@@ -145,7 +145,7 @@ class CampaignWorld:
         """Build the ground-truth corpus and train the classifier on it."""
         dataset = build_ground_truth(
             n_per_class=self.train_samples_per_class,
-            seed=self.config.seed + 1,
+            seed=self.rng_factory.child_seed("world.ground_truth"),
         )
         self.classifier.fit_pages(dataset.pages, dataset.labels)
         self._ground_truth = dataset

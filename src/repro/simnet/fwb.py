@@ -288,8 +288,14 @@ def default_fwb_services() -> List[FWBService]:
         ),
     ]
     total = sum(s.attacker_weight for s in services)
-    assert total == 31405, f"attacker weights must sum to the paper's 31,405 (got {total})"
-    assert len(services) == 17
+    if total != 31405:
+        raise ConfigError(
+            f"attacker weights must sum to the paper's 31,405 (got {total})"
+        )
+    if len(services) != 17:
+        raise ConfigError(
+            f"expected the paper's 17 FWB services, got {len(services)}"
+        )
     return services
 
 

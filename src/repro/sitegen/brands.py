@@ -256,5 +256,9 @@ def default_brand_catalog(zipf_exponent: float = 1.05) -> BrandCatalog:
                 weight=1.0 / rank ** zipf_exponent,
             )
         )
-    assert len(brands) == PAPER_BRAND_COUNT
+    if len(brands) != PAPER_BRAND_COUNT:
+        raise ConfigError(
+            f"catalog must list the paper's {PAPER_BRAND_COUNT} brands, "
+            f"got {len(brands)}"
+        )
     return BrandCatalog(brands)

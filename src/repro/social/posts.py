@@ -6,6 +6,8 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import List, Optional
 
+import numpy as np
+
 from ..simnet.url import URL, extract_urls
 
 
@@ -65,7 +67,7 @@ _TEMPLATES_BENIGN = (
 )
 
 
-def compose_post_text(url: URL, phishing: bool, rng) -> str:
+def compose_post_text(url: URL, phishing: bool, rng: np.random.Generator) -> str:
     """Social-bait text around a URL, matching the post populations."""
     templates = _TEMPLATES_PHISH if phishing else _TEMPLATES_BENIGN
     template = templates[int(rng.integers(len(templates)))]

@@ -1,5 +1,7 @@
 """Statistics, coverage computation, table and figure builders."""
 
+import itertools
+
 import numpy as np
 import pytest
 
@@ -32,9 +34,12 @@ from repro.core.monitor import UrlTimeline
 from repro.errors import ConfigError
 
 
+_URL_COUNTER = itertools.count(1)
+
+
 def _timeline(fwb, platform="twitter", gsb=None, post=None, site=None, vt=0):
     return UrlTimeline(
-        url=f"https://x{np.random.randint(1e9)}.example.com/",
+        url=f"https://x{next(_URL_COUNTER)}.example.com/",
         platform=platform,
         fwb_name=fwb,
         first_seen=0,

@@ -103,7 +103,7 @@ class TestExtraction:
         url = parse_url("https://x.weebly.com/")
         features = extractor.extract(url, BENIGN_MARKUP)
         with pytest.raises(FeatureError):
-            features.vector(["no_such_feature"])
+            features.vector(["no_such_feature"])  # reprolint: disable=RP301 — deliberately unknown name; asserts FeatureError
 
     def test_unsupported_page_type(self, extractor):
         with pytest.raises(FeatureError):

@@ -1,0 +1,10 @@
+"""Fixtures for the reprolint test suite."""
+
+import pytest
+
+from .snippets import lint_snippet
+
+
+@pytest.fixture
+def lint():
+    return lint_snippet

@@ -1,0 +1,32 @@
+"""Helpers for linting inline source snippets against a virtual tree."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint import FileChecker, ProjectContext
+
+VIRTUAL_ROOT = Path("/virtual-project")
+
+_SCOPE_PATHS = {
+    "library": "src/repro/module.py",
+    "tests": "tests/test_module.py",
+    "examples": "examples/example.py",
+    "benchmarks": "benchmarks/bench_module.py",
+    "scripts": "scripts/script.py",
+    "other": "tools/helper.py",
+}
+
+
+def lint_snippet(source, scope="library", project=None, rules=None):
+    """Lint ``source`` as if it lived at the canonical path for ``scope``."""
+    checker = FileChecker(
+        project=project if project is not None else ProjectContext(),
+        rules=rules,
+        project_root=VIRTUAL_ROOT,
+    )
+    return checker.check(VIRTUAL_ROOT / _SCOPE_PATHS[scope], source=source)
+
+
+def rule_ids(report):
+    return sorted(f.rule_id for f in report.findings)

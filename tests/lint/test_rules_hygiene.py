@@ -1,0 +1,72 @@
+"""RP4xx hygiene rules: mutable defaults, bare except, library asserts."""
+
+from repro.lint import Severity
+
+from .snippets import lint_snippet, rule_ids
+
+
+class TestRP401MutableDefault:
+    def test_list_literal_default_flagged(self):
+        source = "def f(items=[]):\n    return items\n"
+        report = lint_snippet(source, scope="tests")
+        assert rule_ids(report) == ["RP401"]
+        assert report.findings[0].severity is Severity.WARNING
+
+    def test_dict_and_set_defaults_flagged(self):
+        source = "def f(a={}, b={1}):\n    return a, b\n"
+        assert rule_ids(lint_snippet(source)) == ["RP401", "RP401"]
+
+    def test_factory_call_default_flagged(self):
+        source = "def f(items=list()):\n    return items\n"
+        assert rule_ids(lint_snippet(source)) == ["RP401"]
+
+    def test_kwonly_default_flagged(self):
+        source = "def f(*, items=[]):\n    return items\n"
+        assert rule_ids(lint_snippet(source)) == ["RP401"]
+
+    def test_none_default_clean(self):
+        source = (
+            "def f(items=None):\n"
+            "    return [] if items is None else items\n"
+        )
+        assert rule_ids(lint_snippet(source)) == []
+
+    def test_tuple_default_clean(self):
+        source = "def f(names=('a', 'b')):\n    return names\n"
+        assert rule_ids(lint_snippet(source)) == []
+
+
+class TestRP402BareExcept:
+    def test_bare_except_flagged_in_all_scopes(self):
+        source = "try:\n    x = 1\nexcept:\n    pass\n"
+        for scope in ("library", "tests", "examples"):
+            assert rule_ids(lint_snippet(source, scope=scope)) == ["RP402"], scope
+
+    def test_typed_except_clean(self):
+        source = "try:\n    x = 1\nexcept ValueError:\n    pass\n"
+        assert rule_ids(lint_snippet(source)) == []
+
+    def test_broad_but_named_exception_clean(self):
+        source = "try:\n    x = 1\nexcept Exception:\n    pass\n"
+        assert rule_ids(lint_snippet(source)) == []
+
+
+class TestRP403LibraryAssert:
+    def test_assert_flagged_in_library(self):
+        source = "def f(x):\n    assert x > 0\n    return x\n"
+        report = lint_snippet(source)
+        assert rule_ids(report) == ["RP403"]
+        assert report.findings[0].severity is Severity.WARNING
+
+    def test_tests_keep_their_asserts(self):
+        source = "def test_f():\n    assert 1 + 1 == 2\n"
+        assert rule_ids(lint_snippet(source, scope="tests")) == []
+
+    def test_raise_instead_is_clean(self):
+        source = (
+            "def f(x):\n"
+            "    if x <= 0:\n"
+            "        raise ValueError('x must be positive')\n"
+            "    return x\n"
+        )
+        assert rule_ids(lint_snippet(source)) == []

@@ -1,0 +1,53 @@
+"""RP2xx simulation-purity rules: forbidden imports, environment access."""
+
+from .snippets import lint_snippet, rule_ids
+
+
+class TestRP201ForbiddenImport:
+    def test_requests_flagged(self):
+        assert rule_ids(lint_snippet("import requests\n")) == ["RP201"]
+
+    def test_socket_and_subprocess_flagged(self):
+        source = "import socket\nimport subprocess\n"
+        assert rule_ids(lint_snippet(source)) == ["RP201", "RP201"]
+
+    def test_urllib_request_flagged_but_parse_allowed(self):
+        assert rule_ids(lint_snippet("import urllib.request\n")) == ["RP201"]
+        assert rule_ids(lint_snippet("from urllib.request import urlopen\n")) == ["RP201"]
+        assert rule_ids(lint_snippet("from urllib import request\n")) == ["RP201"]
+        assert rule_ids(lint_snippet("from urllib.parse import urlsplit\n")) == []
+
+    def test_http_client_flagged(self):
+        assert rule_ids(lint_snippet("from http.client import HTTPConnection\n")) == ["RP201"]
+
+    def test_tests_may_use_subprocess(self):
+        assert rule_ids(lint_snippet("import subprocess\n", scope="tests")) == []
+
+    def test_simnet_style_imports_clean(self):
+        source = (
+            "from repro.simnet.web import Web\n"
+            "from repro.simnet.browser import Browser\n"
+        )
+        assert rule_ids(lint_snippet(source)) == []
+
+
+class TestRP202EnvironmentAccess:
+    def test_os_environ_read_flagged(self):
+        source = "import os\nlevel = os.environ['LEVEL']\n"
+        assert rule_ids(lint_snippet(source)) == ["RP202"]
+
+    def test_os_environ_get_flagged_once(self):
+        source = "import os\nlevel = os.environ.get('LEVEL')\n"
+        assert rule_ids(lint_snippet(source)) == ["RP202"]
+
+    def test_os_getenv_flagged(self):
+        source = "import os\nlevel = os.getenv('LEVEL', '1')\n"
+        assert rule_ids(lint_snippet(source)) == ["RP202"]
+
+    def test_scripts_may_read_environment(self):
+        source = "import os\nlevel = os.getenv('LEVEL')\n"
+        assert rule_ids(lint_snippet(source, scope="scripts")) == []
+
+    def test_os_path_usage_clean(self):
+        source = "import os\np = os.path.join('a', 'b')\n"
+        assert rule_ids(lint_snippet(source)) == []

@@ -1,0 +1,72 @@
+"""Suppression directive parsing and application."""
+
+from repro.lint import SuppressionIndex
+
+from .snippets import lint_snippet, rule_ids
+
+
+class TestDirectiveParsing:
+    def test_single_rule_with_reason(self):
+        index = SuppressionIndex.from_source(
+            "x = 1  # reprolint: disable=RP101 — timing metadata\n"
+        )
+        assert index.find("RP101", 1) == (True, "timing metadata")
+        assert index.find("RP102", 1) is None
+
+    def test_multiple_rules_one_directive(self):
+        index = SuppressionIndex.from_source(
+            "x = 1  # reprolint: disable=RP101,RP403 - both fine here\n"
+        )
+        assert index.find("RP101", 1) is not None
+        assert index.find("RP403", 1) is not None
+
+    def test_reason_optional(self):
+        index = SuppressionIndex.from_source("x = 1  # reprolint: disable=RP401\n")
+        assert index.find("RP401", 1) == (True, None)
+
+    def test_hash_inside_string_not_a_directive(self):
+        index = SuppressionIndex.from_source(
+            's = "# reprolint: disable=RP101"\n'
+        )
+        assert index.find("RP101", 1) is None
+
+    def test_file_wide_directive(self):
+        source = (
+            "# reprolint: disable-file=RP301 — synthetic fixture names\n"
+            "a = 1\n"
+            "b = 2\n"
+        )
+        index = SuppressionIndex.from_source(source)
+        assert index.find("RP301", 3) == (True, "synthetic fixture names")
+
+    def test_malformed_directive_ignored(self):
+        index = SuppressionIndex.from_source("x = 1  # reprolint: disable=banana\n")
+        assert index.line_rules == {}
+
+
+class TestSuppressionApplication:
+    def test_suppressed_finding_moves_to_suppressed_list(self):
+        source = "import time\nt = time.time()  # reprolint: disable=RP101 — why not\n"
+        report = lint_snippet(source)
+        assert rule_ids(report) == []
+        assert len(report.suppressed) == 1
+        assert report.suppressed[0].rule_id == "RP101"
+        assert report.suppressed[0].suppress_reason == "why not"
+
+    def test_suppression_of_other_rule_does_not_apply(self):
+        source = "import time\nt = time.time()  # reprolint: disable=RP102\n"
+        assert rule_ids(lint_snippet(source)) == ["RP101"]
+
+    def test_multiline_statement_span_covered(self):
+        source = (
+            "import numpy as np\n"
+            "rng = np.random.default_rng(\n"
+            ")  # reprolint: disable=RP103 — demo of span suppression\n"
+        )
+        report = lint_snippet(source)
+        assert rule_ids(report) == []
+        assert len(report.suppressed) == 1
+
+    def test_suppressed_findings_do_not_affect_exit_code(self):
+        source = "import time\nt = time.time()  # reprolint: disable=RP101 — ok\n"
+        assert lint_snippet(source).exit_code() == 0
