@@ -1,4 +1,4 @@
-.PHONY: install test lint bench examples all
+.PHONY: install test lint bench telemetry examples all
 
 install:
 	pip install -e . || python setup.py develop
@@ -11,6 +11,11 @@ lint:
 
 bench:
 	pytest benchmarks/ --benchmark-only -s
+
+telemetry:
+	PYTHONPATH=src python -m repro campaign --days 1 --target 60 \
+		--train-samples 80 --export-dir telemetry-out
+	python scripts/validate_telemetry.py telemetry-out/telemetry.json
 
 examples:
 	python examples/quickstart.py

@@ -12,7 +12,10 @@ import numpy as np
 import pytest
 from conftest import emit
 
+from repro.config import SimulationConfig
 from repro.core.preprocess import Preprocessor
+from repro.obs import NULL_INSTRUMENTATION
+from repro.sim import CampaignWorld
 from repro.simnet import Browser
 
 
@@ -50,6 +53,36 @@ def test_classifier_inference_rate(benchmark, pipeline_world):
     emit(
         "Throughput — classification",
         f"classifier inference: {1.0 / benchmark.stats['mean']:.0f} URLs/s",
+    )
+
+
+def test_campaign_run_null_instrumentation(benchmark):
+    """End-to-end campaign with observability opted out entirely.
+
+    The null Instrumentation collapses every metric/span/event hook to a
+    shared no-op singleton; this bench pins the uninstrumented pipeline's
+    runtime so instrumentation overhead regressions are caught.
+    """
+    config = SimulationConfig(seed=11, duration_days=1, target_fwb_phishing=120)
+
+    def setup():
+        world = CampaignWorld(
+            config,
+            train_samples_per_class=80,
+            instrumentation=NULL_INSTRUMENTATION,
+        )
+        world.train_classifier()
+        return (world,), {}
+
+    def run(world):
+        return world.run()
+
+    result = benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+    assert result.timelines
+    emit(
+        "Throughput — null-instrumentation campaign",
+        f"1-day campaign resolved {len(result.timelines)} timelines in "
+        f"{benchmark.stats['mean']:.2f}s (instrumentation opted out)",
     )
 
 

@@ -26,6 +26,16 @@ from .config import (
     hhmm_to_minutes,
 )
 from .errors import ReproError
+from .obs import (
+    EventLog,
+    Instrumentation,
+    MetricsRegistry,
+    NULL_INSTRUMENTATION,
+    NullInstrumentation,
+    Tracer,
+    render_telemetry,
+    write_telemetry_json,
+)
 from .core.classifier import FreePhishClassifier
 from .core.extension import FreePhishExtension, NavigationVerdict
 from .core.framework import FreePhish
@@ -43,6 +53,14 @@ __all__ = [
     "minutes_to_hhmm",
     "hhmm_to_minutes",
     "ReproError",
+    "EventLog",
+    "Instrumentation",
+    "MetricsRegistry",
+    "NULL_INSTRUMENTATION",
+    "NullInstrumentation",
+    "Tracer",
+    "render_telemetry",
+    "write_telemetry_json",
     "FreePhishClassifier",
     "FreePhishExtension",
     "NavigationVerdict",

@@ -8,9 +8,10 @@ Commands
 ``table1``        regenerate the code-similarity table
 ``table2``        regenerate the model-comparison table
 ``demo``          classify one freshly generated phishing page
+``report``        render a telemetry report (live campaign or saved JSON)
 
 Every command accepts ``--seed``; campaign/table output can be exported
-with ``--export-dir``.
+with ``--export-dir`` (which also writes ``telemetry.json``).
 """
 
 from __future__ import annotations
@@ -48,13 +49,41 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     print()
     print(render_figure(build_fig9(result.timelines)))
     if args.export_dir:
+        from .obs.export import write_telemetry_json
+
         out = Path(args.export_dir)
         out.mkdir(parents=True, exist_ok=True)
         write_timelines_csv(result.timelines, out / "timelines.csv")
         write_table_json(build_table3(result.timelines), out / "table3.json")
         write_table_json(build_table4(result.timelines), out / "table4.json")
         write_figure_json(build_fig9(result.timelines), out / "fig9.json")
+        write_telemetry_json(world.instr, out / "telemetry.json")
         print(f"\nexported to {out}/")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .obs.export import load_telemetry, render_telemetry
+
+    if args.telemetry_file:
+        snapshot = load_telemetry(Path(args.telemetry_file))
+    else:
+        from .sim import CampaignWorld
+
+        config = SimulationConfig(
+            seed=args.seed,
+            duration_days=args.days,
+            target_fwb_phishing=args.target,
+        )
+        world = CampaignWorld(config, train_samples_per_class=args.train_samples)
+        world.run(verbose=args.verbose)
+        snapshot = world.instr.telemetry()
+    if args.json:
+        import json
+
+        print(json.dumps(snapshot, sort_keys=True, indent=2))
+    else:
+        print(render_telemetry(snapshot))
     return 0
 
 
@@ -174,6 +203,27 @@ def build_parser() -> argparse.ArgumentParser:
 
     demo = sub.add_parser("demo", help="classify one generated attack")
     demo.set_defaults(func=_cmd_demo)
+
+    report = sub.add_parser(
+        "report", help="render a telemetry report (run a campaign, or load "
+        "a telemetry.json written by campaign --export-dir)"
+    )
+    report.add_argument(
+        "--telemetry", action="store_true",
+        help="render the telemetry section (currently the only section, "
+        "so this is the default)",
+    )
+    report.add_argument(
+        "--telemetry-file", type=str, default="",
+        help="render a saved telemetry export instead of running a campaign",
+    )
+    report.add_argument("--days", type=int, default=1)
+    report.add_argument("--target", type=int, default=100)
+    report.add_argument("--train-samples", type=int, default=120)
+    report.add_argument("--json", action="store_true",
+                        help="emit the raw telemetry snapshot as JSON")
+    report.add_argument("--verbose", action="store_true")
+    report.set_defaults(func=_cmd_report)
     return parser
 
 

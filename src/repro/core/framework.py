@@ -4,14 +4,21 @@
 snapshot and featurize every new URL, classify, report the positives to the
 hosting service and the platform, and enrol them in longitudinal
 monitoring. ``run`` drives the cycle across a time window.
+
+Every stage is traced through the :mod:`repro.obs` instrumentation layer:
+``framework.step`` wraps one cycle, with nested ``framework.poll`` /
+``framework.preprocess`` / ``framework.classify`` / ``framework.report``
+spans, and the run counters live in the shared
+:class:`~repro.obs.metrics.MetricsRegistry` (``framework.*``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..config import STREAM_INTERVAL_MINUTES
+from ..obs.instrument import Instrumentation
 from ..simnet.web import Web
 from .classifier import FreePhishClassifier
 from .monitor import AnalysisModule
@@ -30,16 +37,59 @@ class DetectionRecord:
     detected_at: int
 
 
-@dataclass
 class FrameworkStats:
-    """Run counters."""
+    """Run counters — a live, read-only view over the metrics registry.
 
-    polls: int = 0
-    observations: int = 0
-    fwb_observations: int = 0
-    unreachable: int = 0
-    detections: int = 0
-    reports_filed: int = 0
+    The six ad-hoc integer fields this class used to hold were folded
+    into the ``framework.*`` counters of the shared
+    :class:`~repro.obs.metrics.MetricsRegistry`; the attribute surface is
+    unchanged, so ``framework.stats.detections`` keeps working. A
+    framework wired to :data:`~repro.obs.NULL_INSTRUMENTATION` counts
+    nothing, so this view reads zero there.
+    """
+
+    __slots__ = ("_metrics",)
+
+    def __init__(self, metrics) -> None:
+        self._metrics = metrics
+
+    @property
+    def polls(self) -> int:
+        return self._metrics.counter("framework.polls").value
+
+    @property
+    def observations(self) -> int:
+        return self._metrics.counter("framework.observations").value
+
+    @property
+    def fwb_observations(self) -> int:
+        return self._metrics.counter("framework.fwb_observations").value
+
+    @property
+    def unreachable(self) -> int:
+        return self._metrics.counter("framework.unreachable").value
+
+    @property
+    def detections(self) -> int:
+        return self._metrics.counter("framework.detections").value
+
+    @property
+    def reports_filed(self) -> int:
+        return self._metrics.counter("framework.reports_filed").value
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "polls": self.polls,
+            "observations": self.observations,
+            "fwb_observations": self.fwb_observations,
+            "unreachable": self.unreachable,
+            "detections": self.detections,
+            "reports_filed": self.reports_filed,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        body = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"FrameworkStats({body})"
 
 
 class FreePhish:
@@ -56,6 +106,7 @@ class FreePhish:
         #: Track only FWB-hosted URLs (the paper's main dataset); the
         #: self-hosted comparison stream is collected separately.
         fwb_only: bool = True,
+        instrumentation: Optional[Instrumentation] = None,
     ) -> None:
         self.web = web
         self.streaming = streaming
@@ -65,38 +116,66 @@ class FreePhish:
         self.analysis = analysis
         self.fwb_only = fwb_only
         self.detections: List[DetectionRecord] = []
-        self.stats = FrameworkStats()
+        # A standalone framework gets its own live instrumentation so the
+        # stats view counts; CampaignWorld passes its shared object in.
+        self.instr = (
+            instrumentation if instrumentation is not None else Instrumentation()
+        )
+        metrics = self.instr.metrics
+        self._c_polls = metrics.counter("framework.polls")
+        self._c_observations = metrics.counter("framework.observations")
+        self._c_fwb_observations = metrics.counter("framework.fwb_observations")
+        self._c_unreachable = metrics.counter("framework.unreachable")
+        self._c_detections = metrics.counter("framework.detections")
+        self._c_reports_filed = metrics.counter("framework.reports_filed")
+        self.stats = FrameworkStats(metrics)
 
     def step(self, now: int) -> List[DetectionRecord]:
         """One polling cycle at time ``now``; returns fresh detections."""
+        instr = self.instr
+        instr.set_time(now)
         fresh: List[DetectionRecord] = []
-        observations = self.streaming.poll(now)
-        self.stats.polls += 1
-        self.stats.observations += len(observations)
-        for observation in observations:
-            if observation.is_fwb:
-                self.stats.fwb_observations += 1
-            elif self.fwb_only:
-                continue
-            page = self.preprocessor.process(observation.url, now, keep=False)
-            if page is None:
-                self.stats.unreachable += 1
-                continue
-            prediction = self.classifier.classify_page(page)
-            if prediction.label != 1:
-                continue
-            record = DetectionRecord(
-                observation=observation,
-                page=page,
-                probability=prediction.probability,
-                detected_at=now,
-            )
-            self.detections.append(record)
-            fresh.append(record)
-            self.stats.detections += 1
-            self.reporting.report(observation, page, now)
-            self.stats.reports_filed += 1
-            self.analysis.track(observation)
+        with instr.span("framework.step"):
+            with instr.span("framework.poll"):
+                observations = self.streaming.poll(now)
+            self._c_polls.inc()
+            self._c_observations.inc(len(observations))
+            for observation in observations:
+                if observation.is_fwb:
+                    self._c_fwb_observations.inc()
+                elif self.fwb_only:
+                    continue
+                with instr.span("framework.preprocess"):
+                    page = self.preprocessor.process(
+                        observation.url, now, keep=False
+                    )
+                if page is None:
+                    self._c_unreachable.inc()
+                    continue
+                with instr.span("framework.classify"):
+                    prediction = self.classifier.classify_page(page)
+                if prediction.label != 1:
+                    continue
+                record = DetectionRecord(
+                    observation=observation,
+                    page=page,
+                    probability=prediction.probability,
+                    detected_at=now,
+                )
+                self.detections.append(record)
+                fresh.append(record)
+                self._c_detections.inc()
+                instr.emit(
+                    "framework.detection",
+                    url=str(observation.url),
+                    platform=observation.platform,
+                    fwb=observation.fwb_name,
+                    probability=round(float(prediction.probability), 6),
+                )
+                with instr.span("framework.report"):
+                    self.reporting.report(observation, page, now)
+                self._c_reports_filed.inc()
+                self.analysis.track(observation)
         return fresh
 
     def run(self, start: int, end: int,

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..config import MONITOR_WINDOW_MINUTES, STREAM_INTERVAL_MINUTES
+from ..obs.instrument import NULL_INSTRUMENTATION, Instrumentation
 from ..ecosystem.blocklists import Blocklist
 from ..ecosystem.virustotal import VirusTotal
 from ..simnet.url import URL
@@ -86,6 +87,7 @@ class AnalysisModule:
         platforms: Dict[str, SocialPlatform],
         window_minutes: int = MONITOR_WINDOW_MINUTES,
         poll_interval: int = STREAM_INTERVAL_MINUTES,
+        instrumentation: Optional[Instrumentation] = None,
     ) -> None:
         self.web = web
         self.blocklists = dict(blocklists)
@@ -94,10 +96,16 @@ class AnalysisModule:
         self.window_minutes = window_minutes
         self.poll_interval = poll_interval
         self._tracked: List[StreamObservation] = []
+        self.instr = (
+            instrumentation if instrumentation is not None else NULL_INSTRUMENTATION
+        )
+        self._c_tracked = self.instr.counter("monitor.tracked")
+        self._c_resolved = self.instr.counter("monitor.timelines_resolved")
 
     def track(self, observation: StreamObservation) -> None:
         """Start monitoring a URL (also primes blocklist/VT first-sight)."""
         self._tracked.append(observation)
+        self._c_tracked.inc()
         for blocklist in self.blocklists.values():
             blocklist.observe(observation.url, observation.observed_at)
         self.virustotal.scan(observation.url, observation.observed_at)
@@ -179,9 +187,11 @@ class AnalysisModule:
     ) -> List[UrlTimeline]:
         """Resolve timelines for every tracked URL."""
         timelines = []
-        for observation in self._tracked:
-            label = True if truth is None else truth.get(str(observation.url), True)
-            timelines.append(
-                self.resolve(observation, label, site_horizon_minutes)
-            )
+        with self.instr.span("monitor.resolve_all"):
+            for observation in self._tracked:
+                label = True if truth is None else truth.get(str(observation.url), True)
+                timelines.append(
+                    self.resolve(observation, label, site_horizon_minutes)
+                )
+            self._c_resolved.inc(len(timelines))
         return timelines

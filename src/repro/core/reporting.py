@@ -16,6 +16,7 @@ from typing import Dict, List, Optional
 
 from ..ecosystem.takedown import AbuseDesk, ReportOutcome, TakedownTicket
 from ..errors import ReportingError
+from ..obs.instrument import NULL_INSTRUMENTATION, Instrumentation
 from ..simnet.url import URL
 from ..social.platform import SocialPlatform
 from .preprocess import ProcessedPage
@@ -46,11 +47,18 @@ class ReportingModule:
         #: Platforms action a fraction of external reports directly; the
         #: rest ride the platform's own moderation pipeline.
         platform_report_action_rate: float = 0.0,
+        instrumentation: Optional[Instrumentation] = None,
     ) -> None:
         self.abuse_desks = dict(abuse_desks)
         self.platforms = dict(platforms)
         self.platform_report_action_rate = platform_report_action_rate
         self.reports: List[AbuseReport] = []
+        instr = (
+            instrumentation if instrumentation is not None else NULL_INSTRUMENTATION
+        )
+        self._c_filed = instr.counter("reporting.filed")
+        self._c_fwb = instr.counter("reporting.fwb_reports")
+        self._c_platform_actioned = instr.counter("reporting.platform_actioned")
 
     def report(
         self,
@@ -79,13 +87,17 @@ class ReportingModule:
                 )
             ticket: TakedownTicket = desk.receive_report(observation.url, now)
             report.fwb_outcome = ticket.outcome
+            self._c_fwb.inc()
         platform = self.platforms.get(observation.platform)
         if platform is not None and self.platform_report_action_rate > 0:
             if platform.rng.random() < self.platform_report_action_rate:
                 report.platform_actioned = platform.remove_reported(
                     observation.post.post_id, now
                 )
+                if report.platform_actioned:
+                    self._c_platform_actioned.inc()
         self.reports.append(report)
+        self._c_filed.inc()
         return report
 
     # -- §5.3 "Response to reporting" aggregation ------------------------------

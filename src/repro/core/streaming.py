@@ -13,6 +13,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..config import STREAM_INTERVAL_MINUTES
 from ..errors import StreamError
+from ..obs.instrument import NULL_INSTRUMENTATION, Instrumentation
 from ..simnet.url import URL
 from ..simnet.web import Web
 from ..social.facebook import CrowdTangleAPI
@@ -44,6 +45,7 @@ class StreamingModule:
         twitter: TwitterAPI,
         crowdtangle: CrowdTangleAPI,
         interval_minutes: int = STREAM_INTERVAL_MINUTES,
+        instrumentation: Optional[Instrumentation] = None,
     ) -> None:
         if interval_minutes <= 0:
             raise StreamError("interval must be positive")
@@ -55,6 +57,12 @@ class StreamingModule:
         #: De-duplication across the whole run: each URL is handled once,
         #: at its first sighting.
         self._seen_urls: set = set()
+        instr = (
+            instrumentation if instrumentation is not None else NULL_INSTRUMENTATION
+        )
+        self._c_posts = instr.counter("stream.posts_scanned")
+        self._c_urls = instr.counter("stream.urls_extracted")
+        self._c_duplicates = instr.counter("stream.urls_deduplicated")
 
     def poll(self, now: int) -> List[StreamObservation]:
         """Collect observations since the previous poll (or from 0)."""
@@ -65,12 +73,15 @@ class StreamingModule:
         posts: List[Tuple[str, Post]] = []
         posts += [("twitter", p) for p in self.twitter.search_recent(start, now)]
         posts += [("facebook", p) for p in self.crowdtangle.posts(start, now)]
+        self._c_posts.inc(len(posts))
         for platform, post in posts:
             for url in post.urls:
                 key = str(url)
                 if key in self._seen_urls:
+                    self._c_duplicates.inc()
                     continue
                 self._seen_urls.add(key)
+                self._c_urls.inc()
                 service = self.web.fwb_for(url)
                 observations.append(
                     StreamObservation(

@@ -25,6 +25,7 @@ import numpy as np
 
 from ..config import SeedBank, _stable_hash
 from ..errors import ConfigError
+from ..obs.instrument import NULL_INSTRUMENTATION, Instrumentation
 from ..simnet.url import URL
 from .intel import IntelService, UrlIntel, suspicion_score
 
@@ -71,6 +72,7 @@ class Blocklist:
         behavior: BlocklistBehavior,
         intel_service: IntelService,
         seed: int,
+        instrumentation: Optional[Instrumentation] = None,
     ) -> None:
         self.name = name
         self.behavior = behavior
@@ -79,6 +81,11 @@ class Blocklist:
         #: url -> listing time (absolute minutes), None = never lists.
         self._listing_time: Dict[str, Optional[int]] = {}
         self._entries: List[BlocklistEntry] = []
+        instr = (
+            instrumentation if instrumentation is not None else NULL_INSTRUMENTATION
+        )
+        self._c_observed = instr.counter(f"blocklist.{name}.observed")
+        self._c_listed = instr.counter(f"blocklist.{name}.listed")
 
     # -- verdicts -------------------------------------------------------------
 
@@ -96,6 +103,7 @@ class Blocklist:
         key = str(url)
         if key in self._listing_time:
             return
+        self._c_observed.inc()
         intel = self.intel_service.intel_for(url, now)
         score = suspicion_score(intel)
         if score <= 0.0:
@@ -120,6 +128,7 @@ class Blocklist:
         listed_at = now + max(2, int(round(delay)))
         self._listing_time[key] = listed_at
         self._entries.append(BlocklistEntry(url=key, listed_at=listed_at))
+        self._c_listed.inc()
 
     def contains(self, url: URL, now: int) -> bool:
         """API check: is the URL on the list at time ``now``? (§4.4 poll)."""
@@ -164,6 +173,7 @@ def default_blocklists(
     intel_service: IntelService,
     seed: int = 0,
     behaviors: Optional[Dict[str, BlocklistBehavior]] = None,
+    instrumentation: Optional[Instrumentation] = None,
 ) -> Dict[str, Blocklist]:
     """Build the four blocklists with Table-3-calibrated behaviour."""
     table = dict(DEFAULT_BEHAVIORS)
@@ -176,6 +186,7 @@ def default_blocklists(
             behavior=table[name],
             intel_service=intel_service,
             seed=bank.child_seed(f"blocklist.{name}"),
+            instrumentation=instrumentation,
         )
         for name in BLOCKLIST_NAMES
     }

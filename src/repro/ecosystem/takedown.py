@@ -22,6 +22,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..config import _stable_hash
+from ..obs.instrument import NULL_INSTRUMENTATION, Instrumentation
 from ..simnet.fwb import ReportResponsiveness
 from ..simnet.hosting import FWBHostingProvider, SelfHostingProvider
 from ..simnet.url import URL
@@ -55,12 +56,21 @@ class AbuseDesk:
         provider: FWBHostingProvider,
         web: Web,
         rng: np.random.Generator,
+        instrumentation: Optional[Instrumentation] = None,
     ) -> None:
         self.provider = provider
         self.web = web
         self.rng = rng
         self.tickets: Dict[str, TakedownTicket] = {}
         self._pending: List[TakedownTicket] = []
+        instr = (
+            instrumentation if instrumentation is not None else NULL_INSTRUMENTATION
+        )
+        # Aggregated across desks; per-FWB response splits live in
+        # ReportingModule.response_rates_by_fwb().
+        self._c_reports = instr.counter("takedown.reports")
+        self._c_scheduled = instr.counter("takedown.removals_scheduled")
+        self._c_removed = instr.counter("takedown.removals_applied")
 
     @property
     def policy(self):
@@ -72,6 +82,7 @@ class AbuseDesk:
         existing = self.tickets.get(key)
         if existing is not None:
             return existing
+        self._c_reports.inc()
         policy = self.policy
         removes = self.rng.random() < policy.removal_rate
         if removes:
@@ -100,6 +111,7 @@ class AbuseDesk:
         self.tickets[key] = ticket
         if removal_at is not None:
             self._pending.append(ticket)
+            self._c_scheduled.inc()
         return ticket
 
     def apply_takedowns(self, now: int) -> int:
@@ -116,6 +128,7 @@ class AbuseDesk:
             else:
                 remaining.append(ticket)
         self._pending = remaining
+        self._c_removed.inc(fired)
         return fired
 
 
@@ -139,6 +152,7 @@ class RegistrarDesk:
         base_median_minutes: float = 160.0,
         stretch: float = 1.0,
         sigma: float = 1.1,
+        instrumentation: Optional[Instrumentation] = None,
     ) -> None:
         self.provider = provider
         self.web = web
@@ -151,11 +165,18 @@ class RegistrarDesk:
         self.sigma = sigma
         self._decisions: Dict[str, Optional[int]] = {}
         self._pending: List[tuple] = []
+        instr = (
+            instrumentation if instrumentation is not None else NULL_INSTRUMENTATION
+        )
+        self._c_observed = instr.counter("registrar.observed")
+        self._c_scheduled = instr.counter("registrar.removals_scheduled")
+        self._c_removed = instr.counter("registrar.removals_applied")
 
     def observe(self, url: URL, now: int) -> None:
         key = str(url)
         if key in self._decisions:
             return
+        self._c_observed.inc()
         score = self.intel_service.suspicion(url, now)
         rng = np.random.default_rng(
             np.random.SeedSequence([self._seed, _stable_hash(key)])
@@ -169,6 +190,7 @@ class RegistrarDesk:
         removal_at = now + max(5, int(round(delay)))
         self._decisions[key] = removal_at
         self._pending.append((url, removal_at))
+        self._c_scheduled.inc()
 
     def removal_time(self, url: URL) -> Optional[int]:
         return self._decisions.get(str(url))
@@ -183,4 +205,5 @@ class RegistrarDesk:
             else:
                 remaining.append((url, removal_at))
         self._pending = remaining
+        self._c_removed.inc(fired)
         return fired

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from ..obs.instrument import NULL_INSTRUMENTATION, Instrumentation
 from ..simnet.url import URL
 from .engines import DetectionEngine
 from .intel import IntelService, UrlIntel
@@ -38,12 +39,18 @@ class VirusTotal:
         self,
         engines: Sequence[DetectionEngine],
         intel_service: IntelService,
+        instrumentation: Optional[Instrumentation] = None,
     ) -> None:
         self.engines = list(engines)
         self.intel_service = intel_service
         #: URL -> first time VT ever saw it (engines date latencies from it).
         self._first_seen: Dict[str, int] = {}
         self._intel_at_first_seen: Dict[str, UrlIntel] = {}
+        instr = (
+            instrumentation if instrumentation is not None else NULL_INSTRUMENTATION
+        )
+        self._c_scans = instr.counter("vt.scans")
+        self._c_urls = instr.counter("vt.urls_registered")
 
     @property
     def n_engines(self) -> int:
@@ -54,10 +61,12 @@ class VirusTotal:
         if key not in self._first_seen:
             self._first_seen[key] = now
             self._intel_at_first_seen[key] = self.intel_service.intel_for(url, now)
+            self._c_urls.inc()
         return self._intel_at_first_seen[key]
 
     def scan(self, url: URL, now: int) -> ScanReport:
         """Scan ``url`` and report current engine positives."""
+        self._c_scans.inc()
         intel = self._register(url, now)
         first_seen = self._first_seen[str(url)]
         positives: List[str] = []

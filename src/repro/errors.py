@@ -69,3 +69,7 @@ class ReportingError(ReproError):
 
 class SimulationError(ReproError):
     """The discrete-event simulation reached an inconsistent state."""
+
+
+class ObservabilityError(ReproError):
+    """Misuse of the metrics/tracing/event instrumentation layer."""

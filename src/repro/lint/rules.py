@@ -280,6 +280,39 @@ class EnvironmentAccessRule(Rule):
                                    "configuration through SimulationConfig")
 
 
+class PrintInLibraryRule(Rule):
+    """RP203: no ``print()`` in library code; use the obs event log."""
+
+    id = "RP203"
+    name = "print-in-library"
+    scopes = LIBRARY_ONLY
+    summary = (
+        "print() bypasses the structured event log, so campaign progress is "
+        "invisible to telemetry exports and impossible to assert on; emit an "
+        "event through repro.obs instead. Renderers (analysis/report.py, "
+        "cli.py) and the linter's own CLI are exempt."
+    )
+
+    _EXEMPT_FILES = frozenset({"cli.py"})
+
+    def _exempt(self, ctx) -> bool:
+        parts = ctx.rel_path.replace("\\", "/").split("/")
+        if "lint" in parts:
+            return True
+        if parts[-1] in self._EXEMPT_FILES:
+            return True
+        return parts[-2:] == ["analysis", "report.py"]
+
+    def check_Call(self, node: ast.Call, ctx) -> None:
+        if not (isinstance(node.func, ast.Name) and node.func.id == "print"):
+            return
+        if self._exempt(ctx):
+            return
+        ctx.report(self, node,
+                   "print() in library code; emit a structured event via "
+                   "repro.obs (EventLog) so output reaches telemetry exports")
+
+
 # ---------------------------------------------------------------------------
 # RP3xx — cross-module schema
 # ---------------------------------------------------------------------------
@@ -609,6 +642,7 @@ RULES: Sequence[Rule] = (
     LegacyNumpyRandomRule(),
     ForbiddenImportRule(),
     EnvironmentAccessRule(),
+    PrintInLibraryRule(),
     FeatureNameRule(),
     RngAnnotationRule(),
     ExportSchemaRule(),

@@ -1,0 +1,335 @@
+"""The :class:`Instrumentation` facade threaded through the pipeline.
+
+One object bundles the three observability channels — a
+:class:`~repro.obs.metrics.MetricsRegistry`, a
+:class:`~repro.obs.tracing.Tracer`, and an
+:class:`~repro.obs.events.EventLog` — plus the current simulation time,
+so instrumented components take a single optional parameter instead of
+three.
+
+Two implementations share the surface:
+
+* :class:`Instrumentation` — the real thing, in ``"sim"`` mode
+  (deterministic, spans keyed on simulation minutes) or ``"wall"`` mode
+  (:meth:`Instrumentation.profiling`, spans keyed on
+  ``time.perf_counter`` for benchmark stage timings);
+* :class:`NullInstrumentation` — every operation is a no-op returning a
+  shared singleton, so the uninstrumented hot path costs one attribute
+  lookup and allocates nothing. Use the module-level
+  :data:`NULL_INSTRUMENTATION` instead of constructing new ones.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional
+
+from ..errors import ObservabilityError
+from .events import Event, EventLog
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, Number
+from .tracing import SimClock, SpanRecord, Tracer, wall_clock
+
+#: Recognised operating modes for the real implementation.
+_MODES = ("sim", "wall")
+
+
+class Instrumentation:
+    """Live metrics + tracing + events for one instrumented run."""
+
+    enabled = True
+
+    def __init__(self, mode: str = "sim", max_spans: int = 10_000,
+                 max_events: int = 50_000) -> None:
+        if mode not in _MODES:
+            raise ObservabilityError(
+                f"unknown instrumentation mode {mode!r}; expected one of {_MODES}"
+            )
+        self.mode = mode
+        self.metrics = MetricsRegistry()
+        self._sim_clock = SimClock()
+        clock = self._sim_clock if mode == "sim" else wall_clock()
+        self.tracer = Tracer(clock=clock, registry=self.metrics,
+                             max_spans=max_spans)
+        self.events = EventLog(max_events=max_events)
+
+    @classmethod
+    def profiling(cls, max_spans: int = 10_000,
+                  max_events: int = 50_000) -> "Instrumentation":
+        """Wall-clock mode: span durations are real seconds (benchmarks)."""
+        return cls(mode="wall", max_spans=max_spans, max_events=max_events)
+
+    # -- simulation time ------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in minutes."""
+        return self._sim_clock.now
+
+    def set_time(self, now: float) -> None:
+        """Advance the simulation clock (events and sim-mode spans use it)."""
+        self._sim_clock.now = now
+
+    # -- metric conveniences --------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        return self.metrics.counter(name)
+
+    def gauge(self, name: str) -> Gauge:
+        return self.metrics.gauge(name)
+
+    def histogram(self, name: str) -> Histogram:
+        return self.metrics.histogram(name)
+
+    def count(self, name: str, amount: int = 1) -> None:
+        self.metrics.counter(name).inc(amount)
+
+    def observe(self, name: str, value: Number) -> None:
+        self.metrics.histogram(name).observe(value)
+
+    # -- spans & events -------------------------------------------------------
+
+    def span(self, name: str):
+        """Context manager timing a nested stage."""
+        return self.tracer.span(name)
+
+    def emit(self, kind: str, **fields) -> Optional[Event]:
+        """Emit a structured event stamped with the simulation time."""
+        return self.events.emit(kind, self._sim_clock.now, **fields)
+
+    # -- export ---------------------------------------------------------------
+
+    def telemetry(self, include_events: bool = True,
+                  include_spans: bool = False) -> dict:
+        """Full snapshot as a JSON-ready dict.
+
+        In ``"sim"`` mode the snapshot is a pure function of the seed:
+        two same-seed campaigns serialize byte-identically.
+        """
+        events: dict = {
+            "emitted": self.events.n_emitted,
+            "by_kind": self.events.counts_by_kind(),
+        }
+        if include_events:
+            events["items"] = [event.to_dict() for event in self.events.events()]
+        spans: dict = {
+            "started": self.tracer.n_started,
+            "finished": self.tracer.n_finished,
+        }
+        if include_spans:
+            spans["items"] = [
+                {
+                    "name": record.name,
+                    "index": record.index,
+                    "parent": record.parent,
+                    "depth": record.depth,
+                    "start": record.start,
+                    "end": record.end,
+                }
+                for record in self.tracer.spans()
+            ]
+        return {
+            "schema": "repro.obs/telemetry.v1",
+            "mode": self.mode,
+            "metrics": self.metrics.snapshot(),
+            "events": events,
+            "spans": spans,
+        }
+
+    def telemetry_json(self, include_events: bool = True,
+                       include_spans: bool = False) -> str:
+        """Canonical JSON serialization (sorted keys, 2-space indent)."""
+        return json.dumps(
+            self.telemetry(include_events=include_events,
+                           include_spans=include_spans),
+            sort_keys=True, indent=2,
+        ) + "\n"
+
+
+class _NullCounter:
+    __slots__ = ()
+    name = ""
+    value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+
+class _NullGauge:
+    __slots__ = ()
+    name = ""
+    value = 0.0
+
+    def set(self, value: Number) -> None:
+        pass
+
+
+class _NullHistogram:
+    __slots__ = ()
+    name = ""
+    count = 0
+    total = 0.0
+    min = None
+    max = None
+    mean = None
+
+    def observe(self, value: Number) -> None:
+        pass
+
+    def quantile(self, q: float) -> None:
+        return None
+
+    def quantiles(self, qs: Iterable[float]) -> List[None]:
+        return [None for _ in qs]
+
+    def snapshot(self) -> Dict[str, Optional[float]]:
+        return {"count": 0, "sum": 0.0, "min": None, "max": None,
+                "p50": None, "p90": None, "p99": None}
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class _NullMetricsRegistry:
+    __slots__ = ()
+
+    def counter(self, name: str) -> _NullCounter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str) -> _NullGauge:
+        return _NULL_GAUGE
+
+    def histogram(self, name: str, growth: float = 1.02,
+                  min_value: float = 1e-9) -> _NullHistogram:
+        return _NULL_HISTOGRAM
+
+    def counters(self) -> Dict[str, int]:
+        return {}
+
+    def gauges(self) -> Dict[str, float]:
+        return {}
+
+    def histograms(self) -> Dict[str, Histogram]:
+        return {}
+
+    def snapshot(self) -> Dict[str, dict]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def __len__(self) -> int:
+        return 0
+
+
+class _NullSpan:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _NullTracer:
+    __slots__ = ()
+    n_started = 0
+    n_finished = 0
+    active_depth = 0
+
+    def span(self, name: str) -> _NullSpan:
+        return _NULL_SPAN
+
+    def spans(self, name: Optional[str] = None) -> List[SpanRecord]:
+        return []
+
+
+class _NullEventLog:
+    __slots__ = ()
+    n_emitted = 0
+
+    def subscribe(self, sink):
+        return sink
+
+    def unsubscribe(self, sink) -> None:
+        pass
+
+    def emit(self, kind: str, time: float, **fields) -> None:
+        return None
+
+    def events(self, kind: Optional[str] = None) -> List[Event]:
+        return []
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        return {}
+
+    def __len__(self) -> int:
+        return 0
+
+
+class NullInstrumentation(Instrumentation):
+    """Allocation-free no-op implementation of the facade surface.
+
+    Every accessor returns a shared singleton; ``span`` hands back one
+    reusable no-op context manager, so the uninstrumented pipeline path
+    performs no per-call allocation. Prefer the module-level
+    :data:`NULL_INSTRUMENTATION` over constructing instances.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        self.mode = "null"
+        self.metrics = _NullMetricsRegistry()
+        self.tracer = _NullTracer()
+        self.events = _NullEventLog()
+
+    @property
+    def now(self) -> float:
+        return 0.0
+
+    def set_time(self, now: float) -> None:
+        pass
+
+    def counter(self, name: str) -> _NullCounter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str) -> _NullGauge:
+        return _NULL_GAUGE
+
+    def histogram(self, name: str) -> _NullHistogram:
+        return _NULL_HISTOGRAM
+
+    def count(self, name: str, amount: int = 1) -> None:
+        pass
+
+    def observe(self, name: str, value: Number) -> None:
+        pass
+
+    def span(self, name: str) -> _NullSpan:
+        return _NULL_SPAN
+
+    def emit(self, kind: str, **fields) -> None:
+        return None
+
+    def telemetry(self, include_events: bool = True,
+                  include_spans: bool = False) -> dict:
+        events: dict = {"emitted": 0, "by_kind": {}}
+        if include_events:
+            events["items"] = []
+        spans: dict = {"started": 0, "finished": 0}
+        if include_spans:
+            spans["items"] = []
+        return {
+            "schema": "repro.obs/telemetry.v1",
+            "mode": "null",
+            "metrics": self.metrics.snapshot(),
+            "events": events,
+            "spans": spans,
+        }
+
+
+#: Shared no-op instance: the default for every instrumented component.
+NULL_INSTRUMENTATION = NullInstrumentation()

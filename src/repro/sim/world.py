@@ -35,6 +35,8 @@ from ..ecosystem.intel import IntelService
 from ..ecosystem.takedown import AbuseDesk, RegistrarDesk
 from ..ecosystem.virustotal import VirusTotal
 from ..ml import RandomForestClassifier
+from ..obs.events import ConsoleSink
+from ..obs.instrument import Instrumentation
 from ..simnet.browser import Browser
 from ..simnet.web import Web
 from ..social.facebook import CrowdTangleAPI, FacebookPlatform
@@ -70,9 +72,17 @@ class CampaignWorld:
         config: Optional[SimulationConfig] = None,
         train_samples_per_class: int = 250,
         use_light_classifier: bool = True,
+        instrumentation: Optional[Instrumentation] = None,
     ) -> None:
         self.config = config if config is not None else SimulationConfig()
         self.rng_factory = SeedBank(self.config.seed)
+        #: Shared observability hub; every subsystem records into it.
+        #: Pass ``NULL_INSTRUMENTATION`` to opt out entirely (e.g. for
+        #: overhead benchmarks) — all hooks collapse to no-op singletons.
+        self.instr = (
+            instrumentation if instrumentation is not None else Instrumentation()
+        )
+        self._console_sink: Optional[ConsoleSink] = None
 
         # Substrate.
         self.web = Web()
@@ -80,23 +90,33 @@ class CampaignWorld:
         self.intel = IntelService(self.web, self.browser)
 
         # Social platforms.
-        self.twitter = TwitterPlatform(self.rng_factory.child("social.twitter"))
-        self.facebook = FacebookPlatform(self.rng_factory.child("social.facebook"))
+        self.twitter = TwitterPlatform(
+            self.rng_factory.child("social.twitter"), instrumentation=self.instr
+        )
+        self.facebook = FacebookPlatform(
+            self.rng_factory.child("social.facebook"), instrumentation=self.instr
+        )
         self.platforms = {"twitter": self.twitter, "facebook": self.facebook}
 
         # Ecosystem.
-        self.blocklists = default_blocklists(self.intel, seed=self.config.seed)
+        self.blocklists = default_blocklists(
+            self.intel, seed=self.config.seed, instrumentation=self.instr
+        )
         self.engines = default_engine_fleet(self.rng_factory)
-        self.virustotal = VirusTotal(self.engines, self.intel)
+        self.virustotal = VirusTotal(
+            self.engines, self.intel, instrumentation=self.instr
+        )
         self.abuse_desks: Dict[str, AbuseDesk] = {
             name: AbuseDesk(
-                provider, self.web, self.rng_factory.child(f"desk.{name}")
+                provider, self.web, self.rng_factory.child(f"desk.{name}"),
+                instrumentation=self.instr,
             )
             for name, provider in self.web.fwb_providers.items()
         }
         self.registrar = RegistrarDesk(
             self.web.self_hosting, self.web, self.intel,
             seed=self.rng_factory.child_seed("ecosystem.registrar"),
+            instrumentation=self.instr,
         )
 
         # Behaviour models.
@@ -123,16 +143,21 @@ class CampaignWorld:
             TwitterAPI(self.twitter),
             CrowdTangleAPI(self.facebook),
             interval_minutes=self.config.stream_interval_minutes,
+            instrumentation=self.instr,
         )
-        self.reporting = ReportingModule(self.abuse_desks, self.platforms)
+        self.reporting = ReportingModule(
+            self.abuse_desks, self.platforms, instrumentation=self.instr
+        )
         self.analysis = AnalysisModule(
             self.web, self.blocklists, self.virustotal, self.platforms,
             window_minutes=self.config.monitor_window_minutes,
             poll_interval=self.config.stream_interval_minutes,
+            instrumentation=self.instr,
         )
         self.framework = FreePhish(
             self.web, self.streaming, self.preprocessor, self.classifier,
             self.reporting, self.analysis, fwb_only=False,
+            instrumentation=self.instr,
         )
         self.train_samples_per_class = train_samples_per_class
         self._ground_truth: Optional[GroundTruthDataset] = None
@@ -147,8 +172,10 @@ class CampaignWorld:
             n_per_class=self.train_samples_per_class,
             seed=self.rng_factory.child_seed("world.ground_truth"),
         )
-        self.classifier.fit_pages(dataset.pages, dataset.labels)
+        with self.instr.span("campaign.train"):
+            self.classifier.fit_pages(dataset.pages, dataset.labels)
         self._ground_truth = dataset
+        self.instr.emit("campaign.trained", samples=len(dataset))
         return dataset
 
     # -- campaign loop ------------------------------------------------------------
@@ -179,34 +206,59 @@ class CampaignWorld:
             self.registrar.observe(attack.site.root_url, now)
 
     def run(self, verbose: bool = False) -> CampaignResult:
-        """Run the full campaign and resolve all timelines."""
+        """Run the full campaign and resolve all timelines.
+
+        ``verbose`` subscribes a console sink to the event log, so daily
+        progress events render to stdout as they are emitted.
+        """
+        if verbose and self._console_sink is None:
+            self._console_sink = ConsoleSink()
+            self.instr.events.subscribe(self._console_sink)
+        interval = self.config.stream_interval_minutes
+        end = self.config.duration_minutes
+        self.instr.set_time(0)
+        self.instr.emit(
+            "campaign.start",
+            duration_minutes=end,
+            seed=self.config.seed,
+            target_fwb_phishing=self.config.target_fwb_phishing,
+        )
         if self._ground_truth is None:
             self.train_classifier()
         rng = self.rng_factory.child("world.arrivals")
         rate = self._arrivals_per_tick()
-        interval = self.config.stream_interval_minutes
-        end = self.config.duration_minutes
 
         now = 0
         while now < end:
             now += interval
+            self.instr.set_time(now)
             self._launch_activity(now, rng, rate)
             self.framework.step(now)
             if now % (24 * 60) < interval:  # housekeeping once a day
                 self._housekeeping(now)
-                if verbose:
-                    print(
-                        f"[day {now // (24 * 60):3d}] detections="
-                        f"{self.framework.stats.detections}"
-                    )
+                self.instr.emit(
+                    "campaign.day",
+                    day=now // (24 * 60),
+                    detections=self.framework.stats.detections,
+                    observations=self.framework.stats.observations,
+                    tracked=self.analysis.n_tracked,
+                )
         # Let every scheduled action (takedowns, moderation) play out across
         # the monitoring window before resolving timelines.
         horizon = end + self.config.takedown_window_minutes
+        self.instr.set_time(horizon)
         self._housekeeping(horizon)
 
-        timelines = self.analysis.resolve_all(
-            truth=self.truth,
-            site_horizon_minutes=self.config.takedown_window_minutes,
+        with self.instr.span("campaign.resolve"):
+            timelines = self.analysis.resolve_all(
+                truth=self.truth,
+                site_horizon_minutes=self.config.takedown_window_minutes,
+            )
+        self.instr.emit(
+            "campaign.finished",
+            detections=self.framework.stats.detections,
+            observations=self.framework.stats.observations,
+            timelines=len(timelines),
         )
         return CampaignResult(
             config=self.config,

@@ -12,6 +12,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from ..obs.instrument import Instrumentation
 from .moderation import ModerationModel
 from .platform import SocialPlatform
 from .posts import Post
@@ -20,7 +21,11 @@ from .posts import Post
 class FacebookPlatform(SocialPlatform):
     """Facebook with its measured moderation behaviour."""
 
-    def __init__(self, rng: np.random.Generator) -> None:
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        instrumentation: Optional[Instrumentation] = None,
+    ) -> None:
         super().__init__(
             name="facebook",
             moderation=ModerationModel(
@@ -29,6 +34,7 @@ class FacebookPlatform(SocialPlatform):
                 delay_sigma=1.3,
             ),
             rng=rng,
+            instrumentation=instrumentation,
         )
 
 

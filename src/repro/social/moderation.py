@@ -16,12 +16,13 @@ response-time gaps from one mechanism.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 import numpy as np
 
 from ..errors import ConfigError
+from ..obs.instrument import NULL_INSTRUMENTATION, Instrumentation
 
 
 @dataclass(frozen=True)
@@ -52,12 +53,18 @@ class ModerationModel:
     suspicion_floor:
         Minimum effective suspicion: even opaque URLs get occasional user
         reports.
+    instrumentation:
+        Optional observability hook; counts decisions/removals and
+        records the scheduled-delay distribution (sim-time metrics).
     """
 
     base_removal_rate: float = 0.85
     median_delay_minutes: float = 150.0
     delay_sigma: float = 1.2
     suspicion_floor: float = 0.06
+    instrumentation: Optional[Instrumentation] = field(
+        default=None, compare=False, repr=False
+    )
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.base_removal_rate <= 1.0:
@@ -69,6 +76,12 @@ class ModerationModel:
 
     def decide(self, suspicion: float, rng: np.random.Generator) -> ModerationDecision:
         """Scan outcome for a URL with the given suspicion in [0, 1]."""
+        instr = (
+            self.instrumentation
+            if self.instrumentation is not None
+            else NULL_INSTRUMENTATION
+        )
+        instr.count("moderation.decisions")
         suspicion = float(np.clip(suspicion, self.suspicion_floor, 1.0))
         removal_probability = self.base_removal_rate * suspicion
         if rng.random() >= removal_probability:
@@ -77,6 +90,9 @@ class ModerationModel:
         # the delay median scales inversely with suspicion.
         effective_median = self.median_delay_minutes / max(suspicion, 0.05)
         delay = rng.lognormal(mean=np.log(effective_median), sigma=self.delay_sigma)
+        delay_minutes = max(1, int(round(delay)))
+        instr.count("moderation.removals")
+        instr.observe("moderation.delay_minutes", delay_minutes)
         return ModerationDecision(
-            will_remove=True, delay_minutes=max(1, int(round(delay)))
+            will_remove=True, delay_minutes=delay_minutes
         )

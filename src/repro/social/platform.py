@@ -13,6 +13,7 @@ from typing import Dict, Iterable, List, Optional
 import numpy as np
 
 from ..errors import StreamError
+from ..obs.instrument import NULL_INSTRUMENTATION, Instrumentation
 from ..simnet.url import URL
 from .moderation import ModerationModel
 from .posts import Post, PostStatus, compose_post_text
@@ -29,6 +30,7 @@ class SocialPlatform:
         #: Fraction of posts whose authors delete them organically; prior
         #: work (§5.4) puts this under 2%, i.e. negligible noise.
         user_deletion_rate: float = 0.015,
+        instrumentation: Optional[Instrumentation] = None,
     ) -> None:
         self.name = name
         self.moderation = moderation
@@ -39,6 +41,14 @@ class SocialPlatform:
         self._counter = itertools.count(1)
         #: (post_id, scheduled removal time), applied lazily.
         self._pending_removals: List[tuple] = []
+        instr = (
+            instrumentation if instrumentation is not None else NULL_INSTRUMENTATION
+        )
+        if moderation.instrumentation is None:
+            moderation.instrumentation = instrumentation
+        self._c_scheduled = instr.counter(f"moderation.{name}.scheduled")
+        self._c_removals = instr.counter(f"moderation.{name}.removals")
+        self._c_user_deletions = instr.counter(f"moderation.{name}.user_deletions")
 
     # -- publishing -----------------------------------------------------------
 
@@ -71,12 +81,14 @@ class SocialPlatform:
         if self.rng.random() < self.user_deletion_rate:
             delay = int(self.rng.integers(60, 7 * 24 * 60))
             self._pending_removals.append((post.post_id, now + delay, True))
+            self._c_user_deletions.inc()
             return
         decision = self.moderation.decide(suspicion, self.rng)
         if decision.will_remove and decision.delay_minutes is not None:
             self._pending_removals.append(
                 (post.post_id, now + decision.delay_minutes, False)
             )
+            self._c_scheduled.inc()
 
     def apply_moderation(self, now: int) -> int:
         """Apply all removals due by ``now``; returns how many fired."""
@@ -89,6 +101,7 @@ class SocialPlatform:
                     post.remove(due, by_user=by_user)
                     fired += 1
                     if not by_user:
+                        self._c_removals.inc()
                         self._on_platform_removal(post)
             else:
                 remaining.append((post_id, due, by_user))

@@ -14,6 +14,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from ..obs.instrument import Instrumentation
 from ..simnet.url import URL
 from .moderation import ModerationModel
 from .platform import SocialPlatform
@@ -29,7 +30,11 @@ class TwitterPlatform(SocialPlatform):
     layer. Facebook deletes posts outright and has no equivalent (§5.4).
     """
 
-    def __init__(self, rng: np.random.Generator) -> None:
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        instrumentation: Optional[Instrumentation] = None,
+    ) -> None:
         super().__init__(
             name="twitter",
             moderation=ModerationModel(
@@ -38,6 +43,7 @@ class TwitterPlatform(SocialPlatform):
                 delay_sigma=1.25,
             ),
             rng=rng,
+            instrumentation=instrumentation,
         )
         self._flagged_urls: set = set()
 

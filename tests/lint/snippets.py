@@ -18,14 +18,19 @@ _SCOPE_PATHS = {
 }
 
 
-def lint_snippet(source, scope="library", project=None, rules=None):
-    """Lint ``source`` as if it lived at the canonical path for ``scope``."""
+def lint_snippet(source, scope="library", project=None, rules=None, path=None):
+    """Lint ``source`` as if it lived at the canonical path for ``scope``.
+
+    ``path`` (repo-relative) overrides the canonical path — for rules whose
+    behaviour depends on the exact file location, like RP203's exemptions.
+    """
     checker = FileChecker(
         project=project if project is not None else ProjectContext(),
         rules=rules,
         project_root=VIRTUAL_ROOT,
     )
-    return checker.check(VIRTUAL_ROOT / _SCOPE_PATHS[scope], source=source)
+    rel = path if path is not None else _SCOPE_PATHS[scope]
+    return checker.check(VIRTUAL_ROOT / rel, source=source)
 
 
 def rule_ids(report):

@@ -31,6 +31,37 @@ class TestRP201ForbiddenImport:
         assert rule_ids(lint_snippet(source)) == []
 
 
+class TestRP203PrintInLibrary:
+    def test_print_flagged(self):
+        assert rule_ids(lint_snippet("print('progress')\n")) == ["RP203"]
+
+    def test_print_in_function_flagged(self):
+        source = "def run(verbose):\n    if verbose:\n        print('tick')\n"
+        assert rule_ids(lint_snippet(source)) == ["RP203"]
+
+    def test_report_renderer_exempt(self):
+        assert rule_ids(lint_snippet(
+            "print('table')\n", path="src/repro/analysis/report.py"
+        )) == []
+
+    def test_cli_exempt(self):
+        assert rule_ids(lint_snippet(
+            "print('usage')\n", path="src/repro/cli.py"
+        )) == []
+
+    def test_lint_package_exempt(self):
+        assert rule_ids(lint_snippet(
+            "print('findings')\n", path="src/repro/lint/cli.py"
+        )) == []
+
+    def test_tests_may_print(self):
+        assert rule_ids(lint_snippet("print('debug')\n", scope="tests")) == []
+
+    def test_shadowed_print_method_clean(self):
+        source = "class Doc:\n    def render(self, printer):\n        printer.print('x')\n"
+        assert rule_ids(lint_snippet(source)) == []
+
+
 class TestRP202EnvironmentAccess:
     def test_os_environ_read_flagged(self):
         source = "import os\nlevel = os.environ['LEVEL']\n"

@@ -1,0 +1,143 @@
+"""Counter/gauge/histogram primitives and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = MetricsRegistry().counter("x")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_negative_increment_rejected(self):
+        counter = MetricsRegistry().counter("x")
+        with pytest.raises(ObservabilityError):
+            counter.inc(-1)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(3)
+        gauge.set(1.5)
+        assert gauge.value == 1.5
+
+
+class TestHistogramQuantiles:
+    """Streaming quantiles must track numpy.percentile within the bucket
+    growth factor's relative-error bound."""
+
+    @pytest.mark.parametrize("seed", [0, 7, 20231024])
+    def test_lognormal_quantiles_match_numpy(self, seed):
+        rng = np.random.default_rng(seed)
+        samples = rng.lognormal(mean=3.0, sigma=1.4, size=20_000)
+        histogram = Histogram("delay")
+        for sample in samples:
+            histogram.observe(sample)
+        for q in (0.50, 0.90, 0.99):
+            exact = float(np.percentile(samples, q * 100))
+            estimate = histogram.quantile(q)
+            assert estimate == pytest.approx(exact, rel=0.02)
+
+    def test_uniform_integer_quantiles_match_numpy(self):
+        rng = np.random.default_rng(5)
+        samples = rng.integers(1, 10_000, size=5_000)
+        histogram = Histogram("minutes")
+        for sample in samples:
+            histogram.observe(int(sample))
+        for q in (0.50, 0.90, 0.99):
+            exact = float(np.percentile(samples, q * 100))
+            assert histogram.quantile(q) == pytest.approx(exact, rel=0.02)
+
+    def test_constant_stream_reports_exactly(self):
+        histogram = Histogram("span")
+        for _ in range(100):
+            histogram.observe(42.0)
+        assert histogram.quantile(0.0) == 42.0
+        assert histogram.quantile(0.5) == 42.0
+        assert histogram.quantile(0.99) == 42.0
+        assert histogram.min == 42.0
+        assert histogram.max == 42.0
+        assert histogram.mean == 42.0
+
+    def test_zero_values_share_the_zero_bucket(self):
+        histogram = Histogram("span")
+        for _ in range(99):
+            histogram.observe(0.0)
+        histogram.observe(100.0)
+        assert histogram.quantile(0.5) == 0.0
+        assert histogram.quantile(1.0) == 100.0
+        assert histogram.count == 100
+
+    def test_empty_histogram_returns_none(self):
+        histogram = Histogram("empty")
+        assert histogram.quantile(0.5) is None
+        snapshot = histogram.snapshot()
+        assert snapshot["count"] == 0
+        assert snapshot["p50"] is None
+
+    def test_negative_observation_rejected(self):
+        with pytest.raises(ObservabilityError):
+            Histogram("span").observe(-0.1)
+
+    def test_out_of_range_quantile_rejected(self):
+        histogram = Histogram("span")
+        histogram.observe(1.0)
+        with pytest.raises(ObservabilityError):
+            histogram.quantile(1.5)
+
+    def test_memory_is_bounded_by_buckets_not_samples(self):
+        rng = np.random.default_rng(1)
+        histogram = Histogram("spread")
+        for sample in rng.lognormal(mean=0.0, sigma=2.0, size=50_000):
+            histogram.observe(sample)
+        # ~1e-9..1e3 spans roughly 28 decades of growth**i buckets; the
+        # point is that it is thousands, not 50k sample objects.
+        assert len(histogram._buckets) < 3_000
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_cross_kind_name_collision_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("metric")
+        with pytest.raises(ObservabilityError):
+            registry.gauge("metric")
+        with pytest.raises(ObservabilityError):
+            registry.histogram("metric")
+
+    def test_snapshot_is_sorted_and_deterministic(self):
+        registry = MetricsRegistry()
+        registry.counter("zebra").inc()
+        registry.counter("alpha").inc(2)
+        registry.gauge("mid").set(7)
+        registry.histogram("delay").observe(3.0)
+        snapshot = registry.snapshot()
+        assert list(snapshot["counters"]) == ["alpha", "zebra"]
+        assert snapshot["counters"] == {"alpha": 2, "zebra": 1}
+        assert snapshot["gauges"] == {"mid": 7.0}
+        assert snapshot["histograms"]["delay"]["count"] == 1
+        # Same observations in a different arrival order → same snapshot.
+        other = MetricsRegistry()
+        other.histogram("delay").observe(3.0)
+        other.gauge("mid").set(7)
+        other.counter("alpha").inc(2)
+        other.counter("zebra").inc()
+        assert other.snapshot() == snapshot
+
+    def test_len_counts_all_kinds(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        registry.gauge("b")
+        registry.histogram("c")
+        assert len(registry) == 3
