@@ -1,4 +1,4 @@
-.PHONY: install test lint bench telemetry examples all
+.PHONY: install test lint bench serve-bench telemetry examples all
 
 install:
 	pip install -e . || python setup.py develop
@@ -11,6 +11,9 @@ lint:
 
 bench:
 	pytest benchmarks/ --benchmark-only -s
+
+serve-bench:
+	PYTHONPATH=src python -m repro serve-bench --out BENCH_serve.json
 
 telemetry:
 	PYTHONPATH=src python -m repro campaign --days 1 --target 60 \

@@ -93,6 +93,67 @@ def validate(instance: Any, schema: dict, path: str = "$") -> List[str]:
     return errors
 
 
+#: Prefix of the per-provenance serve counters (``serve.served.<tag>``).
+_SERVED_PREFIX = "serve.served."
+
+
+def serve_consistency(document: Any) -> List[str]:
+    """Cross-counter invariants for serving-layer telemetry.
+
+    Exports that contain serve metrics (``repro serve-bench
+    --export-dir``) are drained before export, so the counters must
+    balance exactly:
+
+    * every request is served exactly once, from exactly one source;
+    * every request does exactly one tiered-cache lookup, which either
+      hits one tier or misses;
+    * every model-layer request was either admitted (full model) or
+      degraded (URL-only fast path).
+
+    Campaign exports carry no serve counters and skip these checks.
+    """
+    counters = document.get("metrics", {}).get("counters", {})
+    if "serve.requests" not in counters:
+        return []
+    errors: List[str] = []
+    requests = counters["serve.requests"]
+
+    served = sum(
+        value for key, value in counters.items()
+        if key.startswith(_SERVED_PREFIX)
+    )
+    if served != requests:
+        errors.append(
+            f"serve: {requests} requests but {served} served verdicts "
+            f"(every request must be served exactly once)"
+        )
+
+    lookups = sum(
+        counters.get(f"serve.cache.hit.{tier}", 0)
+        for tier in ("exact", "domain", "negative")
+    ) + counters.get("serve.cache.miss", 0)
+    if lookups != requests:
+        errors.append(
+            f"serve: {requests} requests but {lookups} cache "
+            f"hits+misses (every request does one tiered lookup)"
+        )
+
+    model_layer = counters.get(f"{_SERVED_PREFIX}model", 0) + counters.get(
+        f"{_SERVED_PREFIX}model_degraded", 0
+    )
+    admissions = counters.get("serve.admission.admitted", 0) + counters.get(
+        "serve.admission.degraded", 0
+    )
+    # check() resolves model verdicts synchronously without an admission
+    # decision, so admissions can undercount — never overcount.
+    if admissions > model_layer:
+        errors.append(
+            f"serve: {admissions} admission decisions exceed "
+            f"{model_layer} model-layer verdicts"
+        )
+    return errors
+
+
 def main(argv: List[str]) -> int:
     if len(argv) not in (2, 3):
         print(__doc__)
@@ -102,7 +163,7 @@ def main(argv: List[str]) -> int:
     document = json.loads(document_path.read_text(encoding="utf-8"))
     schema = json.loads(schema_path.read_text(encoding="utf-8"))
 
-    errors = validate(document, schema)
+    errors = validate(document, schema) + serve_consistency(document)
     if errors:
         for error in errors:
             print(f"INVALID {document_path}: {error}")

@@ -42,6 +42,7 @@ from .core.framework import FreePhish
 from .sim.world import CampaignWorld, CampaignResult
 from .sim.groundtruth import build_ground_truth, GroundTruthDataset
 from .sim.scenario import HistoricalScenario
+from .serve import ServedFrom, ServedVerdict, VerdictService
 from .simnet.web import Web
 
 __version__ = "1.0.0"
@@ -70,6 +71,9 @@ __all__ = [
     "build_ground_truth",
     "GroundTruthDataset",
     "HistoricalScenario",
+    "ServedFrom",
+    "ServedVerdict",
+    "VerdictService",
     "Web",
     "__version__",
 ]

@@ -5,26 +5,31 @@ phishing before the page renders. The simulated equivalent guards a
 :class:`~repro.simnet.browser.Browser`: ``check`` combines three layers,
 cheapest first —
 
-1. a local verdict cache (previously blocked URLs);
+1. a local verdict cache (previously resolved URLs);
 2. the FreePhish backend feed (URLs the framework already detected);
 3. on-the-fly classification of FWB-hosted pages with the shipped model.
 
 Non-FWB URLs are allowed through (the extension's scope is FWB attacks;
 ordinary Safe-Browsing covers the rest).
+
+Since the ``repro.serve`` subsystem landed, the extension is a thin
+client over :class:`~repro.serve.service.VerdictService`, which owns the
+cache/feed/model layering (plus batching and admission control for the
+high-throughput path). The extension keeps only what is genuinely
+client-side: the user-override allowlist, the warning interstitial, and
+its historical ``stats`` surface.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, Optional, Set
+from typing import Optional, Set
 
-from ..errors import FetchError
 from ..simnet.browser import Browser, FetchResult
 from ..simnet.url import URL
 from ..simnet.web import Web
 from .classifier import FreePhishClassifier
-from .preprocess import Preprocessor
 
 
 class NavigationVerdict(str, Enum):
@@ -58,20 +63,43 @@ class FreePhishExtension:
         classifier: FreePhishClassifier,
         browser: Optional[Browser] = None,
         feed: Optional[Set[str]] = None,
+        service=None,
+        instrumentation=None,
     ) -> None:
         self.web = web
         self.browser = browser if browser is not None else Browser(web)
         self.classifier = classifier
-        #: Backend feed of URLs the FreePhish framework has confirmed.
-        self.feed: Set[str] = set(feed) if feed else set()
+        if service is None:
+            # Deferred import: repro.serve imports NavigationVerdict from
+            # this module, so a top-level import here would be circular.
+            from ..serve.service import VerdictService
+
+            service = VerdictService(
+                web,
+                classifier,
+                browser=self.browser,
+                instrumentation=instrumentation,
+            )
+        #: The serving stack that owns the cache/feed/model request path.
+        self.service = service
+        if feed:
+            self.service.update_feed(feed)
         #: URLs the user explicitly chose to proceed to ("Continue anyway").
         self.allowlist: Set[str] = set()
-        self._cache: Dict[str, NavigationVerdict] = {}
         self.stats = {"checked": 0, "blocked": 0, "overridden": 0}
+
+    @property
+    def feed(self) -> Set[str]:
+        """Backend feed of URLs the FreePhish framework has confirmed.
+
+        Lives on the service (normalized URL keys); exposed here for the
+        extension's historical surface.
+        """
+        return self.service.feed
 
     def update_feed(self, urls) -> None:
         """Sync the backend detection feed into the extension."""
-        self.feed.update(str(u) for u in urls)
+        self.service.update_feed(urls)
 
     def allow_anyway(self, url) -> None:
         """Record a user override: future checks let this URL through.
@@ -84,32 +112,25 @@ class FreePhishExtension:
 
     def check(self, url: URL, now: int) -> NavigationVerdict:
         """Verdict for navigating to ``url`` at time ``now``."""
-        self.stats["checked"] += 1
-        key = str(url)
-        if key in self.allowlist:
-            return NavigationVerdict.ALLOWED
-        cached = self._cache.get(key)
-        if cached is not None and cached != NavigationVerdict.UNREACHABLE:
-            if cached != NavigationVerdict.ALLOWED:
-                self.stats["blocked"] += 1
-            return cached
-        if key in self.feed:
-            self._cache[key] = NavigationVerdict.BLOCKED_FEED
-            self.stats["blocked"] += 1
-            return NavigationVerdict.BLOCKED_FEED
+        return self.check_served(url, now).verdict
 
-        verdict = NavigationVerdict.ALLOWED
-        if self.web.fwb_for(url) is not None:
-            preprocessor = Preprocessor(self.web, self.browser)
-            page = preprocessor.process(url, now, keep=False)
-            if page is None:
-                verdict = NavigationVerdict.UNREACHABLE
-            elif self.classifier.is_phishing(page):
-                verdict = NavigationVerdict.BLOCKED_CLASSIFIER
-        self._cache[key] = verdict
-        if verdict == NavigationVerdict.BLOCKED_CLASSIFIER:
+    def check_served(self, url: URL, now: int):
+        """Like :meth:`check`, but returning the full
+        :class:`~repro.serve.service.ServedVerdict` — verdict plus the
+        serving tier that produced it (``served_from``)."""
+        from ..serve.service import ServedFrom, ServedVerdict
+
+        self.stats["checked"] += 1
+        if str(url) in self.allowlist:
+            return ServedVerdict(
+                url=url,
+                verdict=NavigationVerdict.ALLOWED,
+                served_from=ServedFrom.ALLOWLIST,
+            )
+        served = self.service.check(url, now)
+        if served.blocked:
             self.stats["blocked"] += 1
-        return verdict
+        return served
 
     def navigate(self, url: URL, now: int) -> NavigationResult:
         """Attempt a guarded navigation; blocked URLs never hit the network."""

@@ -63,6 +63,12 @@ FWB_FEATURE_NAMES: Tuple[str, ...] = tuple(
     name for name in BASE_FEATURE_NAMES if name not in ("has_https", "n_tld_tokens")
 ) + ("obfuscated_fwb_banner", "has_noindex")
 
+#: The URL-derived prefix of the base schema: everything computable from the
+#: URL string alone, without fetching the page. The serving layer's degraded
+#: fast path (``repro.serve``) scores requests on exactly these features when
+#: the full snapshot pipeline is overloaded.
+URL_FEATURE_NAMES: Tuple[str, ...] = BASE_FEATURE_NAMES[:8]
+
 _TLD_TOKENS = (".com", ".net", ".org", ".info", ".xyz", ".top", ".live", ".io", ".me", ".app", ".site")
 
 _BANNER_CLASS_HINT = "fwb-banner"
@@ -207,6 +213,17 @@ class FeatureExtractor:
         }
 
     # -- public API ------------------------------------------------------------------
+
+    def extract_url_only(self, url: URL) -> PageFeatures:
+        """Extract only the URL-derived features — no page fetch required.
+
+        The returned :class:`PageFeatures` carries just the
+        :data:`URL_FEATURE_NAMES` columns; asking it for ``base_vector`` or
+        ``fwb_vector`` raises :class:`~repro.errors.FeatureError`. This is
+        the input to the serving layer's degraded fast path, which must
+        produce a verdict even when the snapshot pipeline cannot keep up.
+        """
+        return PageFeatures(values=self._url_features(url))
 
     def extract(
         self,

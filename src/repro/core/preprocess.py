@@ -37,6 +37,35 @@ class ProcessedPage:
         return self.features.base_vector
 
 
+@dataclass(frozen=True)
+class SkippedURL:
+    """One URL a batch could not snapshot, with the reason it was skipped."""
+
+    url: URL
+    reason: str
+
+
+@dataclass
+class PreprocessBatch:
+    """Outcome of a batched preprocessing pass.
+
+    A single unreachable URL must never abort a serving batch: reachable
+    pages are returned in ``pages`` (input order preserved) and every
+    failure is reported in ``skipped`` rather than raised.
+    """
+
+    pages: List[ProcessedPage]
+    skipped: List[SkippedURL]
+
+    @property
+    def n_processed(self) -> int:
+        return len(self.pages)
+
+    @property
+    def n_skipped(self) -> int:
+        return len(self.skipped)
+
+
 class Preprocessor:
     """Snapshot + feature-extraction stage of the pipeline."""
 
@@ -73,12 +102,35 @@ class Preprocessor:
     def process_batch(
         self, urls: List[URL], now: int, keep: bool = False
     ) -> List[ProcessedPage]:
-        pages = []
+        """Reachable pages only; see :meth:`process_batch_report` for the
+        skip-and-report variant the serving layer uses."""
+        return self.process_batch_report(urls, now, keep=keep).pages
+
+    def process_batch_report(
+        self, urls: List[URL], now: int, keep: bool = False
+    ) -> PreprocessBatch:
+        """Snapshot and featurize a batch, skipping-and-reporting failures.
+
+        One dead URL (taken down mid-batch, or a custom browser raising
+        :class:`~repro.errors.FetchError` while resolving sub-resources)
+        must not abort the other N-1: every failure becomes a
+        :class:`SkippedURL` entry instead of propagating.
+        """
+        pages: List[ProcessedPage] = []
+        skipped: List[SkippedURL] = []
         for url in urls:
-            page = self.process(url, now, keep=keep)
-            if page is not None:
-                pages.append(page)
-        return pages
+            try:
+                page = self.process(url, now, keep=keep)
+            except FetchError as exc:
+                # process() shields the snapshot call, but browser
+                # subclasses may raise while resolving iframes/downloads.
+                skipped.append(SkippedURL(url=url, reason=str(exc)))
+                continue
+            if page is None:
+                skipped.append(SkippedURL(url=url, reason="unreachable"))
+                continue
+            pages.append(page)
+        return PreprocessBatch(pages=pages, skipped=skipped)
 
     def feature_matrix(self, pages: List[ProcessedPage]) -> np.ndarray:
         """Stacked FWB-augmented feature vectors for a batch."""

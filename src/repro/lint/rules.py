@@ -559,6 +559,76 @@ class ExportSchemaRule(Rule):
     check_AsyncFunctionDef = _check
 
 
+class ServeCacheKeyRule(Rule):
+    """RP304: serve-layer cache keys must come from ``simnet.url``
+    normalization (``cache_key`` / ``domain_key``), never raw strings."""
+
+    id = "RP304"
+    name = "raw-cache-key"
+    scopes = LIBRARY_ONLY
+    summary = (
+        "two spellings of one URL (case, default path, fragment) must share "
+        "a cache line; a raw-string key in repro/serve bypasses the "
+        "simnet.url parse and silently splits or misses entries."
+    )
+
+    #: Methods on cache-like receivers whose first argument is a key/URL.
+    _KEYED_METHODS = frozenset({
+        "get", "put", "lookup", "store", "evict",
+        "invalidate", "invalidate_blocked", "invalidate_takedown",
+    })
+    #: Receiver-name fragments that mark a cache-like object.
+    _CACHE_HINTS = ("cache", "tier", "exact", "domain", "negative")
+
+    @staticmethod
+    def _in_serve_layer(ctx) -> bool:
+        return "serve" in ctx.rel_path.replace("\\", "/").split("/")
+
+    def _is_raw_key(self, node: ast.expr) -> bool:
+        """String built without going through the URL parser."""
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return True
+        if isinstance(node, ast.JoinedStr):  # f-string
+            return True
+        if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Mod)):
+            return self._is_raw_key(node.left) or self._is_raw_key(node.right)
+        if isinstance(node, ast.Call):
+            # str(url) / "...".format(...) stringify without normalizing;
+            # cache_key()/domain_key() are the sanctioned producers.
+            if isinstance(node.func, ast.Name) and node.func.id == "str":
+                return True
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("format", "join", "lower", "strip")
+            ):
+                return True
+        return False
+
+    def check_Call(self, node: ast.Call, ctx) -> None:
+        if not self._in_serve_layer(ctx):
+            return
+        func = node.func
+        if not isinstance(func, ast.Attribute) or func.attr not in self._KEYED_METHODS:
+            return
+        receiver = dotted_name(func.value)
+        if receiver is None:
+            return
+        lowered = receiver.lower()
+        if not any(hint in lowered for hint in self._CACHE_HINTS):
+            return
+        candidates = list(node.args[:1]) + [
+            kw.value for kw in node.keywords if kw.arg in ("key", "url")
+        ]
+        for candidate in candidates:
+            if self._is_raw_key(candidate):
+                ctx.report(
+                    self, candidate,
+                    f"raw string passed as cache key to {receiver}."
+                    f"{func.attr}(); serve-layer keys must come from "
+                    "cache_key()/domain_key() (simnet.url normalization)",
+                )
+
+
 # ---------------------------------------------------------------------------
 # RP4xx — hygiene
 # ---------------------------------------------------------------------------
@@ -646,6 +716,7 @@ RULES: Sequence[Rule] = (
     FeatureNameRule(),
     RngAnnotationRule(),
     ExportSchemaRule(),
+    ServeCacheKeyRule(),
     MutableDefaultRule(),
     BareExceptRule(),
     LibraryAssertRule(),

@@ -1,0 +1,47 @@
+"""repro.serve — the online verdict-serving subsystem.
+
+Wraps the core detection pipeline (``Preprocessor`` +
+``FreePhishClassifier``) in the shapes of a production inference stack:
+
+* :mod:`repro.serve.cache` — tiered verdict cache (exact / FWB-subdomain
+  domain / negative) with event-driven invalidation;
+* :mod:`repro.serve.batching` — deterministic sim-clock request
+  micro-batching into single ``predict_proba`` calls;
+* :mod:`repro.serve.admission` — bounded queueing that sheds overload to
+  a URL-features-only degraded fast path instead of dropping requests;
+* :mod:`repro.serve.service` — :class:`VerdictService`, the layered
+  request path the :class:`~repro.core.extension.FreePhishExtension`
+  routes through;
+* :mod:`repro.serve.workload` — seeded Zipf + diurnal synthetic
+  navigation traffic;
+* :mod:`repro.serve.bench` — the shared ``serve-bench`` runner.
+
+See ``docs/SERVING.md`` for tier semantics, invalidation rules, and the
+determinism policy.
+"""
+
+from .admission import AdmissionController, AdmissionDecision, FastPathModel
+from .batching import BatchVerdict, MicroBatcher, PendingRequest
+from .bench import run_serve_bench, smoke_parameters
+from .cache import CacheHit, TieredVerdictCache, cache_key, domain_key
+from .service import ServedFrom, ServedVerdict, VerdictService
+from .workload import NavigationWorkload
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "BatchVerdict",
+    "CacheHit",
+    "FastPathModel",
+    "MicroBatcher",
+    "NavigationWorkload",
+    "PendingRequest",
+    "ServedFrom",
+    "ServedVerdict",
+    "TieredVerdictCache",
+    "VerdictService",
+    "cache_key",
+    "domain_key",
+    "run_serve_bench",
+    "smoke_parameters",
+]

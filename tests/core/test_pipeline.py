@@ -47,6 +47,37 @@ class TestPreprocessor:
         assert pre.feature_matrix(pages).shape == (3, 20)
         assert pre.feature_matrix([]).shape == (0, 20)
 
+    def test_batch_skips_and_reports_unreachable(self, web, benign_generator,
+                                                 rng):
+        pre = Preprocessor(web)
+        live = [
+            benign_generator.create_fwb_site(web.fwb_providers["wix"], 0, rng).root_url
+            for _ in range(2)
+        ]
+        ghost = parse_url("https://ghost.weebly.com/")
+        report = pre.process_batch_report([live[0], ghost, live[1]], now=5)
+        # The dead URL is reported, not raised, and does not abort the batch.
+        assert report.n_processed == 2
+        assert [str(p.url) for p in report.pages] == [str(u) for u in live]
+        assert report.n_skipped == 1
+        assert str(report.skipped[0].url) == str(ghost)
+        assert report.skipped[0].reason == "unreachable"
+        # The pages-only convenience wrapper stays consistent.
+        assert len(pre.process_batch([live[0], ghost, live[1]], now=5)) == 2
+
+    def test_batch_reports_mid_batch_takedown(self, web, phishing_generator,
+                                              rng):
+        pre = Preprocessor(web)
+        sites = [
+            phishing_generator.create_site(web.fwb_providers["weebly"], 0, rng)
+            for _ in range(3)
+        ]
+        web.take_down(sites[1].root_url, now=3)
+        report = pre.process_batch_report([s.root_url for s in sites], now=5)
+        assert report.n_processed == 2
+        assert report.n_skipped == 1
+        assert str(report.skipped[0].url) == str(sites[1].root_url)
+
 
 class TestClassifier:
     def test_fit_predict_on_ground_truth(self, ground_truth):

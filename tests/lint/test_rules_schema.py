@@ -162,3 +162,47 @@ class TestRP303SchemaDrift:
         assert surface is not None
         assert {"url", "platform", "blocklist_offsets", "vt_final"} <= surface
         assert "no_such_field" not in surface
+
+
+SERVE_PATH = "src/repro/serve/service.py"
+
+
+class TestRP304RawCacheKey:
+    def test_raw_string_key_flagged(self):
+        source = "hit = self.cache.lookup('https://a.weebly.com/', now)\n"
+        assert rule_ids(lint_snippet(source, path=SERVE_PATH)) == ["RP304"]
+
+    def test_fstring_key_flagged(self):
+        source = "self.exact_tier.put(f'{url.host}/{url.path}', verdict, now)\n"
+        assert rule_ids(lint_snippet(source, path=SERVE_PATH)) == ["RP304"]
+
+    def test_str_call_key_flagged(self):
+        source = "cache.store(str(url), verdict, now)\n"
+        assert rule_ids(lint_snippet(source, path=SERVE_PATH)) == ["RP304"]
+
+    def test_concatenation_and_keyword_flagged(self):
+        source = "tier.evict(key='host' + suffix)\n"
+        assert rule_ids(lint_snippet(source, path=SERVE_PATH)) == ["RP304"]
+
+    def test_normalized_key_clean(self):
+        source = (
+            "self.cache.store(cache_key(url), verdict, now)\n"
+            "self.negative.evict(domain_key(url))\n"
+            "self.cache.invalidate_blocked(key)\n"
+        )
+        assert rule_ids(lint_snippet(source, path=SERVE_PATH)) == []
+
+    def test_inactive_outside_serve_layer(self):
+        source = "self.cache.lookup('https://a.weebly.com/', now)\n"
+        assert rule_ids(lint_snippet(source)) == []  # canonical library path
+
+    def test_non_cache_receiver_ignored(self):
+        source = "registry.get('https://a.weebly.com/')\n"
+        assert rule_ids(lint_snippet(source, path=SERVE_PATH)) == []
+
+    def test_suppressible(self):
+        source = (
+            "cache.store('sentinel', verdict, now)"
+            "  # reprolint: disable=RP304 — synthetic fixture key\n"
+        )
+        assert rule_ids(lint_snippet(source, path=SERVE_PATH)) == []

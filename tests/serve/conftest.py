@@ -1,0 +1,22 @@
+"""Serving-layer fixtures: one session-trained classifier, cheap worlds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.classifier import FreePhishClassifier
+from repro.ml import RandomForestClassifier
+
+
+@pytest.fixture(scope="session")
+def trained_classifier(ground_truth):
+    """A FreePhish classifier fitted on the shared ground-truth corpus.
+
+    Read-only across the serve suite; services built on top each own
+    their cache/batcher state.
+    """
+    classifier = FreePhishClassifier(
+        model=RandomForestClassifier(n_estimators=20, random_state=0)
+    )
+    classifier.fit_pages(ground_truth.pages, ground_truth.labels)
+    return classifier

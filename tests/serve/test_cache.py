@@ -1,0 +1,141 @@
+"""Tiered verdict cache: keys, tiers, TTL/LRU, event-driven invalidation."""
+
+import pytest
+
+from repro.core.extension import NavigationVerdict
+from repro.errors import ConfigError
+from repro.obs.instrument import Instrumentation
+from repro.serve.cache import (
+    TIER_DOMAIN,
+    TIER_EXACT,
+    TIER_NEGATIVE,
+    TieredVerdictCache,
+    cache_key,
+    domain_key,
+)
+from repro.simnet.url import parse_url
+
+
+class TestKeys:
+    def test_cache_key_normalizes_spellings(self):
+        assert cache_key("HTTP://Site.Weebly.COM") == cache_key(
+            "http://site.weebly.com/"
+        )
+        assert cache_key("https://a.wixsite.com/page#frag") == cache_key(
+            "https://a.wixsite.com/page"
+        )
+
+    def test_cache_key_accepts_parsed_urls(self):
+        url = parse_url("https://a.weebly.com/login")
+        assert cache_key(url) == str(url)
+
+    def test_domain_key_is_the_fwb_subdomain_host(self):
+        assert domain_key("https://scam.weebly.com/a/b") == "scam.weebly.com"
+        assert domain_key(parse_url("https://Scam.Weebly.com/")) == "scam.weebly.com"
+
+
+class TestTiers:
+    def test_blocked_verdict_hits_exact_then_domain(self):
+        cache = TieredVerdictCache()
+        url = parse_url("https://scam.weebly.com/login")
+        cache.store(url, NavigationVerdict.BLOCKED_CLASSIFIER, now=0)
+        hit = cache.lookup(url, now=1)
+        assert hit.tier == TIER_EXACT
+        assert hit.verdict is NavigationVerdict.BLOCKED_CLASSIFIER
+        # A different path on the same condemned host: domain tier.
+        sibling = parse_url("https://scam.weebly.com/other")
+        hit = cache.lookup(sibling, now=1)
+        assert hit.tier == TIER_DOMAIN
+        assert hit.verdict is NavigationVerdict.BLOCKED_CLASSIFIER
+
+    def test_benign_verdict_hits_negative_tier_only(self):
+        cache = TieredVerdictCache()
+        url = parse_url("https://shop.wixsite.com/")
+        cache.store(url, NavigationVerdict.ALLOWED, now=0)
+        hit = cache.lookup(url, now=1)
+        assert hit.tier == TIER_NEGATIVE
+        # Benign entries never condemn the host.
+        assert cache.lookup(parse_url("https://shop.wixsite.com/page"), 1) is None
+
+    def test_unreachable_is_never_cached(self):
+        cache = TieredVerdictCache()
+        url = parse_url("https://gone.weebly.com/")
+        cache.store(url, NavigationVerdict.UNREACHABLE, now=0)
+        assert cache.lookup(url, now=0) is None
+
+    def test_ttl_expires_entries(self):
+        cache = TieredVerdictCache(negative_ttl_minutes=10)
+        url = parse_url("https://shop.wixsite.com/")
+        cache.store(url, NavigationVerdict.ALLOWED, now=0)
+        assert cache.lookup(url, now=9) is not None
+        assert cache.lookup(url, now=10) is None
+
+    def test_lru_evicts_oldest(self):
+        cache = TieredVerdictCache(negative_capacity=2)
+        urls = [parse_url(f"https://s{i}.weebly.com/") for i in range(3)]
+        for url in urls:
+            cache.store(url, NavigationVerdict.ALLOWED, now=0)
+        assert cache.lookup(urls[0], now=0) is None  # evicted
+        assert cache.lookup(urls[2], now=0) is not None
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigError):
+            TieredVerdictCache(exact_capacity=0)
+        with pytest.raises(ConfigError):
+            TieredVerdictCache(domain_ttl_minutes=0)
+
+
+class TestInvalidation:
+    def test_blocklist_ingest_purges_stale_allow(self):
+        instr = Instrumentation(mode="sim")
+        cache = TieredVerdictCache(instrumentation=instr)
+        url = parse_url("https://fresh-scam.weebly.com/")
+        cache.store(url, NavigationVerdict.ALLOWED, now=0)
+        stale = cache.invalidate_blocked(url)
+        assert stale == 1
+        assert cache.lookup(url, now=1) is None
+        counters = instr.metrics.snapshot()["counters"]
+        assert counters["serve.cache.stale_allow"] == 1
+        assert counters["serve.cache.stale_block"] == 0
+
+    def test_blocklist_ingest_of_uncached_url_counts_nothing(self):
+        cache = TieredVerdictCache()
+        assert cache.invalidate_blocked("https://unseen.weebly.com/") == 0
+
+    def test_takedown_purges_stale_block_for_whole_host(self):
+        instr = Instrumentation(mode="sim")
+        cache = TieredVerdictCache(instrumentation=instr)
+        login = parse_url("https://scam.weebly.com/login")
+        verify = parse_url("https://scam.weebly.com/verify")
+        cache.store(login, NavigationVerdict.BLOCKED_CLASSIFIER, now=0)
+        cache.store(verify, NavigationVerdict.BLOCKED_FEED, now=0)
+        stale = cache.invalidate_takedown(login)
+        # Domain-tier entry + both exact entries were stale blocks.
+        assert stale == 3
+        assert cache.lookup(login, now=1) is None
+        assert cache.lookup(verify, now=1) is None
+        counters = instr.metrics.snapshot()["counters"]
+        assert counters["serve.cache.stale_block"] == 3
+        assert counters["serve.cache.stale_allow"] == 0
+
+    def test_takedown_drops_benign_entries_without_counting_them(self):
+        cache = TieredVerdictCache()
+        url = parse_url("https://shop.weebly.com/")
+        cache.store(url, NavigationVerdict.ALLOWED, now=0)
+        assert cache.invalidate_takedown(url) == 0
+        assert cache.lookup(url, now=1) is None
+
+
+class TestMetrics:
+    def test_per_tier_hit_counters(self):
+        instr = Instrumentation(mode="sim")
+        cache = TieredVerdictCache(instrumentation=instr)
+        url = parse_url("https://scam.weebly.com/login")
+        cache.lookup(url, now=0)  # miss
+        cache.store(url, NavigationVerdict.BLOCKED_FEED, now=0)
+        cache.lookup(url, now=1)  # exact
+        cache.lookup(parse_url("https://scam.weebly.com/x"), now=1)  # domain
+        counters = instr.metrics.snapshot()["counters"]
+        assert counters["serve.cache.miss"] == 1
+        assert counters["serve.cache.hit.exact"] == 1
+        assert counters["serve.cache.hit.domain"] == 1

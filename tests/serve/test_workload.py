@@ -1,0 +1,102 @@
+"""Synthetic navigation workload: seeding, Zipf skew, diurnal curve."""
+
+import pytest
+
+from repro.config import MINUTES_PER_DAY, SeedBank
+from repro.errors import ConfigError
+from repro.serve.cache import cache_key
+from repro.serve.workload import NavigationWorkload
+from repro.simnet.url import parse_url
+
+
+@pytest.fixture()
+def urls():
+    return [parse_url(f"https://site{i}.weebly.com/") for i in range(50)]
+
+
+class TestSeeding:
+    def test_same_seed_same_stream(self, urls):
+        def stream(seed):
+            workload = NavigationWorkload(urls, SeedBank(seed))
+            return [
+                [str(u) for u in requests]
+                for _minute, requests in workload.iter_minutes(0, 30)
+            ]
+
+        assert stream(5) == stream(5)
+        assert stream(5) != stream(6)
+
+    def test_rank_assignment_is_seeded(self, urls):
+        def head(seed):
+            workload = NavigationWorkload(
+                urls, SeedBank(seed), requests_per_minute=400.0
+            )
+            counts = {}
+            for url in workload.minute_requests(0):
+                counts[cache_key(url)] = counts.get(cache_key(url), 0) + 1
+            return max(counts, key=counts.get)
+
+        # Different seeds put the hot head on different URLs (with 50
+        # candidates, a collision across both pairs is vanishingly likely).
+        assert len({head(1), head(2), head(3)}) > 1
+
+
+class TestShape:
+    def test_zipf_concentrates_mass_on_head(self, urls):
+        workload = NavigationWorkload(
+            urls, SeedBank(0), requests_per_minute=300.0, zipf_exponent=1.2
+        )
+        counts = {}
+        for _minute, requests in workload.iter_minutes(0, 60):
+            for url in requests:
+                counts[cache_key(url)] = counts.get(cache_key(url), 0) + 1
+        total = sum(counts.values())
+        top5 = sum(sorted(counts.values(), reverse=True)[:5])
+        assert top5 / total > 0.4  # 10% of URLs draw >40% of traffic
+
+    def test_diurnal_rate_peaks_at_midday(self, urls):
+        workload = NavigationWorkload(
+            urls, SeedBank(0), requests_per_minute=100.0, diurnal_amplitude=0.5
+        )
+        midnight = workload.rate_at(0)
+        noon = workload.rate_at(MINUTES_PER_DAY // 2)
+        assert noon == pytest.approx(150.0)
+        assert midnight == pytest.approx(50.0)
+        # The curve repeats daily.
+        assert workload.rate_at(MINUTES_PER_DAY + 17) == pytest.approx(
+            workload.rate_at(17)
+        )
+
+    def test_day_volume_matches_mean_rate(self, urls):
+        workload = NavigationWorkload(
+            urls, SeedBank(3), requests_per_minute=50.0
+        )
+        total = sum(
+            len(requests)
+            for _minute, requests in workload.iter_minutes(0, MINUTES_PER_DAY)
+        )
+        expected = workload.expected_total(MINUTES_PER_DAY)
+        assert expected == pytest.approx(50.0 * MINUTES_PER_DAY, rel=1e-6)
+        assert abs(total - expected) / expected < 0.05
+
+    def test_scales_to_millions_per_day(self, urls):
+        # 1440 minutes x ~1400 req/min ~= 2M requests; sampling must be
+        # vectorized enough to generate the day's head quickly.
+        workload = NavigationWorkload(
+            urls, SeedBank(1), requests_per_minute=1400.0
+        )
+        sample = sum(len(workload.minute_requests(m)) for m in range(0, 30))
+        assert sample > 10_000
+        assert workload.expected_total(MINUTES_PER_DAY) > 1_900_000
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self, urls):
+        with pytest.raises(ConfigError):
+            NavigationWorkload([], SeedBank(0))
+        with pytest.raises(ConfigError):
+            NavigationWorkload(urls, SeedBank(0), zipf_exponent=0.0)
+        with pytest.raises(ConfigError):
+            NavigationWorkload(urls, SeedBank(0), diurnal_amplitude=1.0)
+        with pytest.raises(ConfigError):
+            NavigationWorkload(urls, SeedBank(0), requests_per_minute=0.0)
