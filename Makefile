@@ -1,4 +1,4 @@
-.PHONY: install test lint bench serve-bench telemetry examples all
+.PHONY: install test lint lint-ratchet lint-bench bench serve-bench telemetry examples all
 
 install:
 	pip install -e . || python setup.py develop
@@ -8,6 +8,13 @@ test:
 
 lint:
 	PYTHONPATH=src python -m repro.lint src tests examples benchmarks scripts
+
+lint-ratchet:
+	PYTHONPATH=src python -m repro.lint src tests examples benchmarks scripts \
+		--ratchet --baseline lint-baseline.json
+
+lint-bench:
+	PYTHONPATH=src:benchmarks python -m pytest benchmarks/bench_lint_flow.py -q -s
 
 bench:
 	pytest benchmarks/ --benchmark-only -s

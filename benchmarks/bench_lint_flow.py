@@ -1,0 +1,62 @@
+"""Lint flow-analysis benchmark: warm-cache speed and cold/warm parity.
+
+Two properties of the interprocedural pass are load-bearing enough to
+assert in CI rather than eyeball:
+
+* a **warm** whole-tree analysis (summary cache hit for every file) must
+  stay under 2 s, or the linter stops being a pre-commit tool;
+* the warm report must be **byte-identical** to the cold one — the cache
+  is keyed on content hashes and summaries are a pure function of file
+  content, so any divergence is a soundness bug, not a staleness bug.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from conftest import emit
+
+from repro.lint.flow.cache import SummaryCache
+from repro.lint.flow.engine import FlowEngine
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: CI budget for a warm whole-tree flow analysis, in seconds.
+WARM_BUDGET_S = 2.0
+
+
+def test_warm_flow_analysis_under_budget(tmp_path):
+    cache_path = tmp_path / "flow-cache.json"
+
+    cold_engine = FlowEngine(REPO_ROOT, cache=SummaryCache(cache_path))
+    cold_start = time.perf_counter()
+    cold_report = cold_engine.run()
+    cold_s = time.perf_counter() - cold_start
+    n_files = len(cold_engine.summaries)
+    assert n_files > 100, "flow engine failed to scan the src tree"
+    assert cold_engine.cache.hits == 0
+
+    warm_engine = FlowEngine(REPO_ROOT, cache=SummaryCache(cache_path))
+    warm_start = time.perf_counter()
+    warm_report = warm_engine.run()
+    warm_s = time.perf_counter() - warm_start
+    assert warm_engine.cache.misses == 0, "warm run unexpectedly re-parsed files"
+
+    assert warm_report.render_json() == cold_report.render_json(), (
+        "warm-cache findings differ from a cold run"
+    )
+    assert warm_s < WARM_BUDGET_S, (
+        f"warm whole-tree flow analysis took {warm_s:.2f}s "
+        f"(budget {WARM_BUDGET_S:.1f}s) over {n_files} files"
+    )
+
+    emit(
+        "Lint flow analysis (whole tree)",
+        f"files analyzed     {n_files}\n"
+        f"cold run           {cold_s * 1e3:8.1f} ms\n"
+        f"warm run           {warm_s * 1e3:8.1f} ms\n"
+        f"speedup            {cold_s / warm_s:8.1f}x\n"
+        f"findings           {len(cold_report.findings)} "
+        f"({len(cold_report.suppressed)} suppressed)",
+    )

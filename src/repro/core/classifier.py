@@ -80,9 +80,9 @@ class FreePhishClassifier:
 
     def classify_page(self, page: ProcessedPage) -> TimedPrediction:
         """Classify one processed page, timing the inference."""
-        start = time.perf_counter()  # reprolint: disable=RP101 — runtime_seconds reports real inference latency
+        start = time.perf_counter()  # reprolint: disable=RP101,RP105 — runtime_seconds reports real inference latency
         probability = float(self.predict_proba(page.fwb_vector.reshape(1, -1))[0, 1])
-        elapsed = time.perf_counter() - start  # reprolint: disable=RP101 — runtime_seconds reports real inference latency
+        elapsed = time.perf_counter() - start  # reprolint: disable=RP101,RP105 — runtime_seconds reports real inference latency
         return TimedPrediction(
             label=int(probability >= self.threshold),
             probability=probability,

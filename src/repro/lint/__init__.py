@@ -16,7 +16,7 @@ Public API::
 
 from .project import ProjectContext
 from .report import Finding, LintReport, Severity
-from .rules import RULES, RULES_BY_ID, Rule, select_rules
+from .rules import FLOW_RULES, RULES, RULES_BY_ID, FlowRule, Rule, select_rules
 from .suppress import SuppressionIndex
 from .visitor import FileChecker, classify_scope, iter_python_files, run_lint
 
@@ -25,8 +25,10 @@ __all__ = [
     "LintReport",
     "Severity",
     "Rule",
+    "FlowRule",
     "RULES",
     "RULES_BY_ID",
+    "FLOW_RULES",
     "select_rules",
     "SuppressionIndex",
     "ProjectContext",

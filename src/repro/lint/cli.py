@@ -17,9 +17,12 @@ Exit codes: 0 clean, 1 warnings only, 2 errors, 3 internal failure
 from __future__ import annotations
 
 import argparse
+import json
 from pathlib import Path
 from typing import List, Optional
 
+from .flow.baseline import BASELINE_FILENAME, Baseline
+from .flow.cache import CACHE_FILENAME
 from .project import ProjectContext
 from .report import EXIT_INTERNAL, Severity
 from .rules import RULES, select_rules
@@ -66,6 +69,28 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also list suppressed findings (text format)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule registry and exit")
+    parser.add_argument("--no-flow", action="store_true",
+                        help="skip the interprocedural pass (per-file "
+                             "rules only)")
+    parser.add_argument("--cache", type=Path, default=None, metavar="PATH",
+                        help="flow summary-cache file (default: "
+                             ".reprolint-cache.json at the project root)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="run the flow pass cold, without reading or "
+                             "writing the summary cache")
+    parser.add_argument("--graph-dump", choices=("dot", "json"), default=None,
+                        help="print the resolved call graph in the given "
+                             "format and exit")
+    parser.add_argument("--baseline", type=Path, default=None, metavar="PATH",
+                        help="baseline file for --ratchet/--write-baseline "
+                             "(default: lint-baseline.json at the project "
+                             "root)")
+    parser.add_argument("--ratchet", action="store_true",
+                        help="subtract baselined findings: fail only on "
+                             "violations not recorded in the baseline")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="snapshot the current findings to the baseline "
+                             "file and exit clean")
     return parser
 
 
@@ -102,7 +127,48 @@ def main(argv: Optional[List[str]] = None) -> int:
     root = args.project_root if args.project_root else _find_project_root(paths[0])
     rules = select_rules(select=args.select, ignore=args.ignore)
     project = ProjectContext.build(Path(__file__).resolve().parent.parent)
-    report = run_lint(paths, project_root=root, rules=rules, project=project)
+
+    if args.no_cache:
+        cache_path: Optional[Path] = None
+    elif args.cache is not None:
+        cache_path = args.cache
+    else:
+        cache_path = root / CACHE_FILENAME
+
+    if args.graph_dump is not None:
+        from .flow.cache import SummaryCache
+        from .flow.engine import FlowEngine
+
+        engine = FlowEngine(
+            root,
+            cache=SummaryCache(cache_path) if cache_path is not None else None,
+        )
+        engine.build()
+        if engine.graph is None:  # pragma: no cover
+            print("freephish-lint: call-graph construction failed")
+            return EXIT_INTERNAL
+        if args.graph_dump == "dot":
+            print(engine.graph.to_dot())
+        else:
+            print(json.dumps(engine.graph.to_json_dict(), indent=2))
+        return 0
+
+    report = run_lint(paths, project_root=root, rules=rules, project=project,
+                      flow=not args.no_flow, flow_cache=cache_path)
+
+    baseline_path = args.baseline if args.baseline else root / BASELINE_FILENAME
+    if args.write_baseline:
+        Baseline.from_report(report).save(baseline_path)
+        print(f"freephish-lint: wrote {len(report.findings)} finding(s) to "
+              f"{baseline_path}")
+        return 0
+    if args.ratchet:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except (ValueError, OSError) as exc:
+            print(f"freephish-lint: {exc}")
+            return EXIT_INTERNAL
+        report = baseline.apply(report)
 
     if args.format == "json":
         print(report.render_json())

@@ -1,0 +1,48 @@
+"""Interprocedural dataflow for reprolint.
+
+The per-file rules in :mod:`repro.lint.rules` see one AST at a time, so a
+wall-clock read or an unseeded generator laundered through a helper in
+another module is invisible to them. This subpackage adds the
+whole-program half of the linter:
+
+* :mod:`~repro.lint.flow.symbols` — per-module extraction into a
+  serializable :class:`~repro.lint.flow.symbols.ModuleSummary` (imports
+  with aliases, classes and their attribute types, ``functools.partial``
+  bindings, call sites with classified arguments, direct wall-clock /
+  impurity / RNG facts, suppression directives);
+* :mod:`~repro.lint.flow.callgraph` — name resolution across modules
+  (aliased imports, re-export chasing, method resolution through project
+  classes, partials) into a :class:`~repro.lint.flow.callgraph.CallGraph`
+  with dot/JSON dumps;
+* :mod:`~repro.lint.flow.lattice` — taint propagation along reverse call
+  edges with shortest-witness-path reconstruction;
+* :mod:`~repro.lint.flow.taint` — the interprocedural rules RP105
+  (transitive wall-clock), RP110 (RNG seed provenance), RP111 (hardcoded
+  seed at a call site), RP210 (simnet purity);
+* :mod:`~repro.lint.flow.cache` — an incremental summary cache keyed on
+  per-file content hashes, so warm whole-tree runs skip parsing;
+* :mod:`~repro.lint.flow.baseline` — finding fingerprints and the
+  ``--ratchet`` mode that fails only on regressions;
+* :mod:`~repro.lint.flow.engine` — the orchestrator used by
+  :func:`repro.lint.run_lint` and the CLI.
+
+Summaries are a pure function of file content, so a cold run and a
+warm-cache run produce byte-identical findings by construction.
+"""
+
+from .baseline import Baseline, fingerprint
+from .cache import SummaryCache
+from .callgraph import CallGraph, SymbolIndex
+from .engine import FlowEngine
+from .symbols import ModuleSummary, extract_module
+
+__all__ = [
+    "Baseline",
+    "fingerprint",
+    "SummaryCache",
+    "CallGraph",
+    "SymbolIndex",
+    "FlowEngine",
+    "ModuleSummary",
+    "extract_module",
+]

@@ -1,0 +1,107 @@
+"""Ratcheted baseline: fail only on *new* findings.
+
+Turning on interprocedural analysis over an existing tree can surface
+debt that is real but not worth blocking every PR on. The baseline
+records the accepted findings as stable fingerprints in
+``lint-baseline.json``; under ``--ratchet`` the linter subtracts
+baselined findings from the failure set, so CI fails only when a change
+*introduces* a violation. The file is committed, which makes the debt
+visible, reviewable, and monotonically shrinking: fixing a finding and
+re-running ``--write-baseline`` removes its entry, and nothing ever adds
+entries silently.
+
+Fingerprints deliberately exclude line numbers — moving code around must
+not resurrect a baselined finding — and hash the rule, the file, and the
+message (which for flow rules names the call chain).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Set
+
+from ..report import Finding, LintReport
+
+#: Bump when the fingerprint recipe changes; old baselines must be
+#: regenerated rather than silently mis-matched.
+BASELINE_SCHEMA = "repro.lint/baseline.v1"
+
+#: Default baseline filename, relative to the project root.
+BASELINE_FILENAME = "lint-baseline.json"
+
+
+def fingerprint(finding: Finding) -> str:
+    """Stable, line-number-free identity of a finding."""
+    digest = hashlib.sha256(
+        f"{finding.rule_id}|{finding.path}|{finding.message}".encode("utf-8")
+    )
+    return digest.hexdigest()[:16]
+
+
+@dataclass
+class Baseline:
+    """The committed set of accepted findings."""
+
+    entries: List[Dict[str, object]] = field(default_factory=list)
+
+    @property
+    def fingerprints(self) -> Set[str]:
+        return {str(e["fingerprint"]) for e in self.entries}
+
+    @classmethod
+    def from_report(cls, report: LintReport) -> "Baseline":
+        entries = []
+        for finding in sorted(report.findings, key=Finding.sort_key):
+            entries.append({
+                "fingerprint": fingerprint(finding),
+                "rule": finding.rule_id,
+                "path": finding.path,
+                "line": finding.line,
+                "message": finding.message,
+            })
+        return cls(entries=entries)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Load a baseline; a missing file is an empty baseline, while a
+        corrupt or wrong-schema file raises so CI cannot silently pass."""
+        if not path.exists():
+            return cls()
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if payload.get("schema") != BASELINE_SCHEMA:
+            raise ValueError(
+                f"{path}: unsupported baseline schema "
+                f"{payload.get('schema')!r}; regenerate with --write-baseline"
+            )
+        entries = payload.get("findings", [])
+        if not all(isinstance(e, dict) and "fingerprint" in e for e in entries):
+            raise ValueError(f"{path}: malformed baseline entries")
+        return cls(entries=list(entries))
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "schema": BASELINE_SCHEMA,
+            "findings": self.entries,
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    def apply(self, report: LintReport) -> LintReport:
+        """Split ``report`` into new-vs-baselined findings.
+
+        Returns a report whose ``findings`` are only the regressions;
+        baselined findings move to ``report.baselined`` so renderers can
+        still show them without failing the run.
+        """
+        accepted = self.fingerprints
+        ratcheted = LintReport(files_checked=report.files_checked)
+        ratcheted.suppressed = list(report.suppressed)
+        ratcheted.baselined = list(report.baselined)
+        for finding in report.findings:
+            if fingerprint(finding) in accepted:
+                ratcheted.baselined.append(finding)
+            else:
+                ratcheted.findings.append(finding)
+        return ratcheted

@@ -1,0 +1,112 @@
+"""Incremental summary cache keyed on per-file content hashes.
+
+Extraction (:func:`repro.lint.flow.symbols.extract_module`) is the
+expensive half of a flow run — one ``ast.parse`` plus a full walk per
+file. A :class:`ModuleSummary` depends only on the file's relative path
+and content, so caching it under ``sha256(content)`` is sound: any edit
+changes the hash, and an unchanged file can never yield a different
+summary. Resolution and propagation always run fresh (they are cheap and
+depend on the *set* of files), which keeps warm runs byte-identical to
+cold runs by construction.
+
+The cache is one JSON file (default ``.reprolint-cache.json`` at the
+project root), written atomically via ``os.replace`` so an interrupted
+run never leaves a torn file behind. An unreadable, corrupt, or
+version-mismatched cache is simply ignored — the linter falls back to a
+cold run and rewrites it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional
+
+from .symbols import ModuleSummary
+
+#: Bump when the ModuleSummary schema changes; stale caches self-discard.
+CACHE_SCHEMA = "repro.lint.flow/cache.v1"
+
+#: Default cache filename, relative to the project root.
+CACHE_FILENAME = ".reprolint-cache.json"
+
+
+def content_hash(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+class SummaryCache:
+    """rel-path → serialized :class:`ModuleSummary`, persisted as JSON.
+
+    Entries are keyed by relative path and validated against the stored
+    content hash on lookup, so two files with identical content (empty
+    ``__init__.py``) never swap summaries, and any edit is a clean miss.
+    """
+
+    def __init__(self, path: Optional[Path] = None) -> None:
+        self.path = path
+        self._entries: Dict[str, Dict[str, object]] = {}
+        self.hits = 0
+        self.misses = 0
+        if path is not None:
+            self._load(path)
+
+    def _load(self, path: Path) -> None:
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if not isinstance(payload, dict) or payload.get("schema") != CACHE_SCHEMA:
+            return
+        entries = payload.get("entries")
+        if isinstance(entries, dict):
+            self._entries = {
+                str(k): v for k, v in entries.items() if isinstance(v, dict)
+            }
+
+    def get(self, rel_path: str, sha256: str) -> Optional[ModuleSummary]:
+        raw = self._entries.get(rel_path)
+        if raw is None or raw.get("sha256") != sha256:
+            self.misses += 1
+            return None
+        try:
+            summary = ModuleSummary.from_dict(raw)
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            del self._entries[rel_path]
+            return None
+        self.hits += 1
+        return summary
+
+    def put(self, rel_path: str, summary: ModuleSummary) -> None:
+        self._entries[rel_path] = summary.to_dict()
+
+    def prune(self, live_paths) -> None:
+        """Drop entries for files no longer present in the tree, so the
+        cache does not grow without bound across renames."""
+        live = set(live_paths)
+        for key in list(self._entries):
+            if key not in live:
+                del self._entries[key]
+
+    def save(self) -> None:
+        if self.path is None:
+            return
+        payload = {
+            "schema": CACHE_SCHEMA,
+            "entries": self._entries,
+        }
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        try:
+            tmp.write_text(
+                json.dumps(payload, sort_keys=True), encoding="utf-8"
+            )
+            os.replace(str(tmp), str(self.path))
+        except OSError:
+            # A read-only checkout must not fail the lint run.
+            try:
+                tmp.unlink()
+            except OSError:
+                pass

@@ -1,0 +1,292 @@
+"""Project-wide symbol index and call graph construction.
+
+Resolution turns the raw receiver chains recorded by
+:mod:`repro.lint.flow.symbols` into fully qualified function names:
+
+* bare names against the defining module's functions, classes,
+  ``functools.partial`` bindings, then its import aliases (chasing
+  re-export chains like ``repro.ml.__init__`` → ``repro.ml.forest``);
+* ``self.method()`` through the enclosing class's method-resolution
+  order (project classes only);
+* ``obj.method()`` where ``obj`` is a parameter or local whose type is
+  statically known (annotation or ``obj = ClassName(...)``), including
+  one level of attribute hop (``self.cache.get()`` via the class's
+  inferred attribute types);
+* ``ClassName(...)`` to ``__init__`` / ``__post_init__``.
+
+Anything that cannot be resolved (external libraries, dynamic dispatch)
+simply produces no edge — every downstream rule stays sound with respect
+to what *was* resolved and silent about what was not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .symbols import CallSite, ClassSummary, FunctionSummary, ModuleSummary
+
+#: Bound on alias-chasing / attribute-walk depth (cycles in re-exports).
+_MAX_HOPS = 12
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One resolved call: ``caller`` invokes ``callee`` at ``line``."""
+
+    caller: str
+    callee: str
+    line: int
+    #: Index into the caller's ``calls`` list (argument classification).
+    site: int
+
+
+class SymbolIndex:
+    """Cross-module name resolution over a set of module summaries."""
+
+    def __init__(self, summaries: List[ModuleSummary]) -> None:
+        self.modules: Dict[str, ModuleSummary] = {s.module: s for s in summaries}
+        self.functions: Dict[str, FunctionSummary] = {}
+        self.classes: Dict[str, Tuple[str, ClassSummary]] = {}
+        for summary in summaries:
+            for fn in summary.functions:
+                self.functions[fn.qualname] = fn
+            for cls in summary.classes.values():
+                self.classes[f"{summary.module}.{cls.name}"] = (summary.module, cls)
+
+    # -- qualified-name resolution -----------------------------------------
+
+    def resolve_qualified(self, target: str, hops: int = 0):
+        """Resolve an absolute dotted path to ``("function", qualname)``,
+        ``("class", qualname)``, ``("module", name)``, ``("const", info)``
+        or ``None``."""
+        if hops > _MAX_HOPS:
+            return None
+        if target in self.modules:
+            return ("module", target)
+        if target in self.classes:
+            return ("class", target)
+        if target in self.functions:
+            return ("function", target)
+        head, _, leaf = target.rpartition(".")
+        if not head:
+            return None
+        container = self.resolve_qualified(head, hops + 1)
+        if container is None:
+            return None
+        if container[0] == "module":
+            return self._resolve_in_module(container[1], leaf, hops + 1)
+        if container[0] == "class":
+            return self._resolve_method(container[1], leaf)
+        return None
+
+    def _resolve_in_module(self, module: str, name: str, hops: int):
+        summary = self.modules.get(module)
+        if summary is None:
+            return None
+        if f"{module}.{name}" in self.functions:
+            return ("function", f"{module}.{name}")
+        if name in summary.classes:
+            return ("class", f"{module}.{name}")
+        if name in summary.constants:
+            info = summary.constants[name]
+            if info.get("kind") == "partial":
+                return self.resolve_local(summary, str(info["target"]), hops + 1)
+            return ("const", info)
+        if name in summary.imports:
+            return self.resolve_qualified(summary.imports[name], hops + 1)
+        submodule = f"{module}.{name}"
+        if submodule in self.modules:
+            return ("module", submodule)
+        return None
+
+    def resolve_local(self, summary: ModuleSummary, ref: str, hops: int = 0):
+        """Resolve a dotted reference as written inside ``summary``."""
+        if hops > _MAX_HOPS:
+            return None
+        parts = ref.split(".")
+        head, rest = parts[0], parts[1:]
+        base = self._resolve_in_module(summary.module, head, hops)
+        if base is None and head in summary.imports:
+            base = self.resolve_qualified(summary.imports[head], hops + 1)
+        if base is None:
+            base = self.resolve_qualified(head, hops + 1)
+        for attr in rest:
+            if base is None:
+                return None
+            if base[0] == "module":
+                base = self._resolve_in_module(base[1], attr, hops + 1)
+            elif base[0] == "class":
+                base = self._resolve_method(base[1], attr)
+            else:
+                return None
+        return base
+
+    # -- class machinery -----------------------------------------------------
+
+    def mro(self, class_qual: str) -> List[str]:
+        """Linearized project-class ancestry, the class itself first."""
+        out: List[str] = []
+        queue = [class_qual]
+        while queue and len(out) < _MAX_HOPS:
+            current = queue.pop(0)
+            if current in out or current not in self.classes:
+                continue
+            out.append(current)
+            module, cls = self.classes[current]
+            summary = self.modules[module]
+            for base in cls.bases:
+                resolved = self.resolve_local(summary, base)
+                if resolved is not None and resolved[0] == "class":
+                    queue.append(resolved[1])
+        return out
+
+    def _resolve_method(self, class_qual: str, method: str):
+        for ancestor in self.mro(class_qual):
+            module, cls = self.classes[ancestor]
+            if method in cls.methods:
+                return ("function", f"{module}.{cls.name}.{method}")
+            if method in cls.attr_types:
+                summary = self.modules[module]
+                attr_cls = self.resolve_local(summary, cls.attr_types[method])
+                if attr_cls is not None and attr_cls[0] == "class":
+                    return attr_cls
+        return None
+
+    def class_attr_type(self, class_qual: str, attr: str):
+        """Resolved class of attribute ``attr`` on ``class_qual``, if known."""
+        for ancestor in self.mro(class_qual):
+            module, cls = self.classes[ancestor]
+            if attr in cls.attr_types:
+                summary = self.modules[module]
+                resolved = self.resolve_local(summary, cls.attr_types[attr])
+                if resolved is not None and resolved[0] == "class":
+                    return resolved[1]
+                return None
+        return None
+
+    # -- call-site resolution ------------------------------------------------
+
+    def constructor_targets(self, class_qual: str) -> List[str]:
+        """Functions invoked when ``ClassName(...)`` runs."""
+        out = []
+        for method in ("__init__", "__post_init__"):
+            resolved = self._resolve_method(class_qual, method)
+            if resolved is not None and resolved[0] == "function":
+                out.append(resolved[1])
+        return out
+
+    def resolve_call(
+        self, summary: ModuleSummary, fn: FunctionSummary, site: CallSite
+    ) -> List[str]:
+        """Fully qualified callee(s) for one call site (empty if unknown)."""
+        chain = site.chain
+        if not chain:
+            return []
+        head = chain[0]
+
+        # self.attr... / typed-receiver dispatch.
+        receiver_cls: Optional[str] = None
+        walk_from = 1
+        if head == "self" and fn.cls is not None and len(chain) >= 2:
+            receiver_cls = f"{summary.module}.{fn.cls}"
+        elif head in fn.local_partials and len(chain) == 1:
+            resolved = self.resolve_local(summary, fn.local_partials[head])
+            if resolved is not None and resolved[0] == "function":
+                return [resolved[1]]
+            return []
+        elif head in fn.local_types and len(chain) >= 2:
+            resolved = self.resolve_local(summary, fn.local_types[head])
+            if resolved is not None and resolved[0] == "class":
+                receiver_cls = resolved[1]
+
+        if receiver_cls is not None:
+            # Walk intermediate attributes (self.cache.get → type of
+            # ``cache`` → method ``get``), then resolve the final method.
+            for attr in chain[walk_from:-1]:
+                next_cls = self.class_attr_type(receiver_cls, attr)
+                if next_cls is None:
+                    return []
+                receiver_cls = next_cls
+            resolved = self._resolve_method(receiver_cls, chain[-1])
+            if resolved is not None and resolved[0] == "function":
+                return [resolved[1]]
+            if resolved is not None and resolved[0] == "class":
+                return self.constructor_targets(resolved[1])
+            return []
+
+        resolved = self.resolve_local(summary, ".".join(chain))
+        if resolved is None:
+            return []
+        if resolved[0] == "function":
+            return [resolved[1]]
+        if resolved[0] == "class":
+            return self.constructor_targets(resolved[1])
+        return []
+
+    def callee_params(self, qualname: str) -> List[str]:
+        """Parameter names of ``qualname`` with any leading ``self``/``cls``
+        dropped, so positional actuals line up with the call site."""
+        fn = self.functions.get(qualname)
+        if fn is None:
+            return []
+        params = list(fn.params)
+        if fn.cls is not None and params and params[0] in ("self", "cls"):
+            params = params[1:]
+        return params
+
+
+class CallGraph:
+    """Resolved edges plus forward/reverse adjacency."""
+
+    def __init__(self, index: SymbolIndex) -> None:
+        self.index = index
+        self.edges: List[Edge] = []
+        self.forward: Dict[str, List[Edge]] = {}
+        self.reverse: Dict[str, List[Edge]] = {}
+
+    @classmethod
+    def build(cls, index: SymbolIndex) -> "CallGraph":
+        graph = cls(index)
+        for module in sorted(index.modules):
+            summary = index.modules[module]
+            for fn in summary.functions:
+                for site_idx, site in enumerate(fn.calls):
+                    for callee in index.resolve_call(summary, fn, site):
+                        graph._add(Edge(fn.qualname, callee, site.line, site_idx))
+        return graph
+
+    def _add(self, edge: Edge) -> None:
+        self.edges.append(edge)
+        self.forward.setdefault(edge.caller, []).append(edge)
+        self.reverse.setdefault(edge.callee, []).append(edge)
+
+    @property
+    def nodes(self) -> List[str]:
+        return sorted(self.index.functions)
+
+    def callers_of(self, qualname: str) -> List[Edge]:
+        return self.reverse.get(qualname, [])
+
+    # -- debug dumps ---------------------------------------------------------
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return {
+            "schema": "repro.lint.flow/callgraph.v1",
+            "nodes": self.nodes,
+            "edges": [
+                {"from": e.caller, "to": e.callee, "line": e.line}
+                for e in sorted(
+                    self.edges, key=lambda e: (e.caller, e.line, e.callee)
+                )
+            ],
+        }
+
+    def to_dot(self) -> str:
+        lines = ["digraph reprolint_callgraph {", "  rankdir=LR;"]
+        for node in self.nodes:
+            lines.append(f'  "{node}";')
+        for e in sorted(self.edges, key=lambda e: (e.caller, e.line, e.callee)):
+            lines.append(f'  "{e.caller}" -> "{e.callee}" [label="L{e.line}"];')
+        lines.append("}")
+        return "\n".join(lines)

@@ -1,0 +1,125 @@
+"""Taint propagation with witness paths over the call graph.
+
+A *source* seeds taint at a function; taint flows from callee to caller
+(if ``G`` reaches a wall-clock read, so does anything that calls ``G``).
+Propagation is a deterministic BFS over reverse call edges that records,
+for every tainted function, the **shortest witness path** down to the
+origin — the chain reported in the finding message, per the requirement
+that an interprocedural finding names the full call path.
+
+Suppressions participate in propagation itself:
+
+* a directive on the *origin* line kills the source outright (the whole
+  downstream cone is sanctioned);
+* a directive on a *call-site* line sanctions that edge: the caller does
+  not become tainted through it, so the sanction also shields the
+  caller's own callers — suppressing at the boundary function is enough.
+
+Both cases surface as *suppressed findings* so ``--show-suppressed``
+lists them and the justification gate still applies.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .callgraph import CallGraph
+
+#: ``(caller_qualname, line_in_caller)`` — one step of a witness path.
+Step = Tuple[str, int]
+
+
+@dataclass(frozen=True)
+class Origin:
+    """Where taint enters the program."""
+
+    func: str
+    line: int
+    detail: str
+
+
+@dataclass
+class Witness:
+    """Evidence that a function is tainted: the chain down to the origin.
+
+    ``steps`` starts at the tainted function and ends at the function
+    containing the origin; each step carries the call-site line used.
+    """
+
+    origin: Origin
+    steps: List[Step] = field(default_factory=list)
+
+    @property
+    def sink_line(self) -> int:
+        return self.steps[0][1] if self.steps else self.origin.line
+
+    @property
+    def depth(self) -> int:
+        return len(self.steps)
+
+
+@dataclass
+class SuppressedHit:
+    """A source or edge silenced by a suppression directive."""
+
+    func: str
+    line: int
+    reason: Optional[str]
+    origin: Origin
+
+
+@dataclass
+class Propagation:
+    """Result of one taint pass."""
+
+    tainted: Dict[str, Witness] = field(default_factory=dict)
+    suppressed: List[SuppressedHit] = field(default_factory=list)
+
+
+def propagate(
+    graph: CallGraph,
+    sources: Dict[str, Origin],
+    suppression: Callable[[str, int], Optional[Tuple[bool, Optional[str]]]],
+) -> Propagation:
+    """Flow taint from ``sources`` to every transitive caller.
+
+    ``suppression(func_qualname, line)`` answers whether the rule is
+    suppressed on ``line`` of the file defining ``func_qualname``.
+    """
+    result = Propagation()
+    queue: deque = deque()
+
+    for func in sorted(sources):
+        origin = sources[func]
+        hit = suppression(func, origin.line)
+        if hit is not None:
+            result.suppressed.append(
+                SuppressedHit(func, origin.line, hit[1], origin)
+            )
+            continue
+        result.tainted[func] = Witness(origin=origin, steps=[])
+        queue.append(func)
+
+    while queue:
+        current = queue.popleft()
+        witness = result.tainted[current]
+        for edge in sorted(
+            graph.callers_of(current), key=lambda e: (e.caller, e.line)
+        ):
+            if edge.caller in result.tainted:
+                continue
+            hit = suppression(edge.caller, edge.line)
+            if hit is not None:
+                result.suppressed.append(
+                    SuppressedHit(edge.caller, edge.line, hit[1], witness.origin)
+                )
+                continue
+            result.tainted[edge.caller] = Witness(
+                origin=witness.origin,
+                steps=[(edge.caller, edge.line)] + witness.steps,
+            )
+            queue.append(edge.caller)
+
+    return result

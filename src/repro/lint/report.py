@@ -75,6 +75,9 @@ class LintReport:
 
     findings: List[Finding] = field(default_factory=list)
     suppressed: List[Finding] = field(default_factory=list)
+    #: Findings accepted by a committed baseline (``--ratchet``): real
+    #: debt, rendered but not failing the run.
+    baselined: List[Finding] = field(default_factory=list)
     files_checked: int = 0
 
     def add(self, finding: Finding) -> None:
@@ -83,6 +86,7 @@ class LintReport:
     def extend(self, other: "LintReport") -> None:
         self.findings.extend(other.findings)
         self.suppressed.extend(other.suppressed)
+        self.baselined.extend(other.baselined)
         self.files_checked += other.files_checked
 
     @property
@@ -104,7 +108,7 @@ class LintReport:
 
     def to_dict(self) -> Dict[str, object]:
         ordered = sorted(self.findings, key=Finding.sort_key)
-        return {
+        payload: Dict[str, object] = {
             "version": JSON_SCHEMA_VERSION,
             "findings": [f.to_dict() for f in ordered],
             "summary": {
@@ -114,6 +118,12 @@ class LintReport:
                 "files": self.files_checked,
             },
         }
+        if self.baselined:
+            payload["baselined"] = [
+                f.to_dict() for f in sorted(self.baselined, key=Finding.sort_key)
+            ]
+            payload["summary"]["baselined"] = len(self.baselined)  # type: ignore[index]
+        return payload
 
     def render_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent)
@@ -125,6 +135,11 @@ class LintReport:
                 f"{finding.path}:{finding.line}:{finding.col}: "
                 f"{finding.rule_id} [{finding.severity.value}] {finding.message}"
             )
+        for finding in sorted(self.baselined, key=Finding.sort_key):
+            lines.append(
+                f"{finding.path}:{finding.line}:{finding.col}: "
+                f"{finding.rule_id} [baselined] {finding.message}"
+            )
         if show_suppressed:
             for finding in sorted(self.suppressed, key=Finding.sort_key):
                 reason = f" ({finding.suppress_reason})" if finding.suppress_reason else ""
@@ -132,9 +147,12 @@ class LintReport:
                     f"{finding.path}:{finding.line}:{finding.col}: "
                     f"{finding.rule_id} suppressed{reason}"
                 )
+        baselined = (
+            f", {len(self.baselined)} baselined" if self.baselined else ""
+        )
         lines.append(
             f"checked {self.files_checked} files: "
             f"{self.n_errors} errors, {self.n_warnings} warnings, "
-            f"{len(self.suppressed)} suppressed"
+            f"{len(self.suppressed)} suppressed{baselined}"
         )
         return "\n".join(lines)

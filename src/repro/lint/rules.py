@@ -75,6 +75,19 @@ class Rule:
         return scope in self.scopes
 
 
+class FlowRule(Rule):
+    """Base class for interprocedural rules.
+
+    Flow rules have no ``check_<NodeType>`` hooks — the per-file
+    dispatcher skips them — and are instead executed by
+    :class:`repro.lint.flow.engine.FlowEngine` over the whole-program
+    call graph. They live in this registry so ``--select``/``--ignore``,
+    ``--list-rules``, and the JSON output treat them like any other rule.
+    """
+
+    is_flow = True
+
+
 # ---------------------------------------------------------------------------
 # RP1xx — determinism
 # ---------------------------------------------------------------------------
@@ -206,6 +219,48 @@ class LegacyNumpyRandomRule(Rule):
                            f"import of legacy numpy.random.{alias.name}")
 
 
+class TransitiveWallClockRule(FlowRule):
+    """RP105: no library call chain may reach a wall-clock read."""
+
+    id = "RP105"
+    name = "transitive-wall-clock"
+    scopes = LIBRARY_ONLY
+    summary = (
+        "RP101 catches a direct time.time(); this rule follows the call "
+        "graph, so a clock read laundered through helpers in other modules "
+        "is flagged at the call site where the taint enters, with the full "
+        "chain in the message."
+    )
+
+
+class RngProvenanceRule(FlowRule):
+    """RP110: every Generator's seed must trace to the SeedBank."""
+
+    id = "RP110"
+    name = "rng-seed-provenance"
+    scopes = LIBRARY_ONLY
+    summary = (
+        "np.random.default_rng(seed) is only reproducible if the seed "
+        "derives from the root seed; seeds are traced through parameters "
+        "across modules, and a hardcoded or untraceable value anywhere "
+        "along the chain is flagged where it enters."
+    )
+
+
+class HardcodedSeedArgRule(FlowRule):
+    """RP111: no integer literals bound to seed parameters at call sites."""
+
+    id = "RP111"
+    name = "hardcoded-seed-argument"
+    scopes = LIBRARY_ONLY
+    summary = (
+        "passing seed=0 or random_state=7 at a call site pins a sub-stream "
+        "independently of the campaign's root seed; signature defaults are "
+        "the documented contract and stay exempt, call sites must derive "
+        "via SeedBank.child_seed."
+    )
+
+
 # ---------------------------------------------------------------------------
 # RP2xx — simulation purity
 # ---------------------------------------------------------------------------
@@ -311,6 +366,20 @@ class PrintInLibraryRule(Rule):
         ctx.report(self, node,
                    "print() in library code; emit a structured event via "
                    "repro.obs (EventLog) so output reaches telemetry exports")
+
+
+class SimnetPurityRule(FlowRule):
+    """RP210: nothing reachable from simnet may do I/O or write globals."""
+
+    id = "RP210"
+    name = "simnet-impurity"
+    scopes = LIBRARY_ONLY
+    summary = (
+        "the simulated substrate must be a pure function of (config, seed); "
+        "file writes or module-global mutation reachable from any simnet "
+        "function — directly or through callees in other modules — makes "
+        "crawls order-dependent and unreproducible."
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -710,9 +779,13 @@ RULES: Sequence[Rule] = (
     StdlibRandomRule(),
     UnseededRngRule(),
     LegacyNumpyRandomRule(),
+    TransitiveWallClockRule(),
+    RngProvenanceRule(),
+    HardcodedSeedArgRule(),
     ForbiddenImportRule(),
     EnvironmentAccessRule(),
     PrintInLibraryRule(),
+    SimnetPurityRule(),
     FeatureNameRule(),
     RngAnnotationRule(),
     ExportSchemaRule(),
@@ -723,6 +796,11 @@ RULES: Sequence[Rule] = (
 )
 
 RULES_BY_ID: Dict[str, Rule] = {rule.id: rule for rule in RULES}
+
+#: The interprocedural subset, executed by the flow engine.
+FLOW_RULES: Sequence[Rule] = tuple(
+    rule for rule in RULES if isinstance(rule, FlowRule)
+)
 
 
 def select_rules(

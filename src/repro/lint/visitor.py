@@ -167,14 +167,39 @@ def run_lint(
     project_root: Optional[Path] = None,
     rules: Optional[Sequence[Rule]] = None,
     project: Optional[ProjectContext] = None,
+    flow: bool = True,
+    flow_cache: Optional[Path] = None,
 ) -> LintReport:
-    """Lint every Python file under ``paths`` and aggregate the findings."""
+    """Lint every Python file under ``paths`` and aggregate the findings.
+
+    When ``flow`` is true and the run touches library code, the
+    interprocedural pass (:mod:`repro.lint.flow`) runs over the whole
+    ``src`` tree and its findings merge into the same report.
+    ``flow_cache`` names the summary-cache file; ``None`` runs cold.
+    """
     root = project_root if project_root is not None else Path.cwd()
     if project is None:
         package_dir = Path(__file__).resolve().parent.parent
         project = ProjectContext.build(package_dir)
     checker = FileChecker(project=project, rules=rules, project_root=root)
     report = LintReport()
+    saw_library = False
     for path in iter_python_files(paths):
+        saw_library = saw_library or classify_scope(path, root) == "library"
         report.extend(checker.check(path))
+
+    flow_rules = [r for r in checker.rules if getattr(r, "is_flow", False)]
+    if flow and flow_rules and saw_library and (root / "src").is_dir():
+        # Imported lazily: flow is an optional whole-program pass and the
+        # per-file machinery must not depend on it.
+        from .flow.cache import SummaryCache
+        from .flow.engine import FlowEngine
+
+        engine = FlowEngine(
+            root,
+            enabled=[r.id for r in flow_rules],
+            severities={r.id: r.severity for r in flow_rules},
+            cache=SummaryCache(flow_cache) if flow_cache is not None else None,
+        )
+        report.extend(engine.run())
     return report

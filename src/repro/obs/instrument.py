@@ -47,7 +47,7 @@ class Instrumentation:
         self.mode = mode
         self.metrics = MetricsRegistry()
         self._sim_clock = SimClock()
-        clock = self._sim_clock if mode == "sim" else wall_clock()
+        clock = self._sim_clock if mode == "sim" else wall_clock()  # reprolint: disable=RP105 — wall mode is an explicit profiling opt-in; sim mode never reads the clock
         self.tracer = Tracer(clock=clock, registry=self.metrics,
                              max_spans=max_spans)
         self.events = EventLog(max_events=max_events)

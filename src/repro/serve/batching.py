@@ -87,7 +87,7 @@ class MicroBatcher:
         self._c_dedup = self._instr.counter("serve.batch.dedup_saved")
         # Real seconds are only measured under profiling instrumentation;
         # in sim mode the clock is never read, keeping telemetry seed-pure.
-        self._wall = wall_clock() if self._instr.mode == "wall" else None
+        self._wall = wall_clock() if self._instr.mode == "wall" else None  # reprolint: disable=RP105 — guarded by the profiling opt-in; sim mode never reads the clock
 
     # -- queue ----------------------------------------------------------------
 

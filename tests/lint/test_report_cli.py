@@ -48,7 +48,7 @@ class TestRegistry:
     def test_family_selection(self):
         determinism = select_rules(select=["RP1"])
         assert {rule.id for rule in determinism} == {
-            "RP101", "RP102", "RP103", "RP104"
+            "RP101", "RP102", "RP103", "RP104", "RP105", "RP110", "RP111"
         }
         rest = select_rules(ignore=["RP1"])
         assert not any(rule.id.startswith("RP1") for rule in rest)

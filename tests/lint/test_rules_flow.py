@@ -1,0 +1,553 @@
+"""Interprocedural rules: RP105, RP110, RP111, RP210 + flow machinery.
+
+Fixtures are small on-disk project trees (the flow engine resolves
+imports across real files), exercising: call-graph resolution through
+aliased imports, methods, and partials; taint across ≥3-deep
+cross-module chains with the full call path in the message; suppression
+at taint origins and sinks; the content-hash cache (warm identical to
+cold, invalidation on edit); the ratcheted baseline; and the
+``--graph-dump`` round trip.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+from repro.lint.cli import main as lint_main
+from repro.lint.flow.cache import SummaryCache
+from repro.lint.flow.engine import FlowEngine
+from repro.lint.visitor import run_lint
+
+
+def make_project(tmp_path, files):
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    return tmp_path
+
+
+def flow_report(root, enabled=None):
+    engine = FlowEngine(root, enabled=enabled)
+    return engine.run()
+
+
+def rule_ids(report):
+    return sorted(f.rule_id for f in report.findings)
+
+
+# ---------------------------------------------------------------------------
+# Call-graph resolution
+# ---------------------------------------------------------------------------
+
+class TestCallGraph:
+    def _graph(self, tmp_path, files):
+        engine = FlowEngine(make_project(tmp_path, files))
+        engine.build()
+        return engine.graph
+
+    def test_aliased_imports(self, tmp_path):
+        graph = self._graph(tmp_path, {
+            "src/repro/util.py": """
+                def helper():
+                    return 1
+            """,
+            "src/repro/a.py": """
+                from repro.util import helper as h
+                import repro.util as u
+
+                def via_from():
+                    return h()
+
+                def via_module():
+                    return u.helper()
+            """,
+        })
+        pairs = {(e.caller, e.callee) for e in graph.edges}
+        assert ("repro.a.via_from", "repro.util.helper") in pairs
+        assert ("repro.a.via_module", "repro.util.helper") in pairs
+
+    def test_method_resolution_through_base_class(self, tmp_path):
+        graph = self._graph(tmp_path, {
+            "src/repro/base.py": """
+                class Base:
+                    def helper(self):
+                        return 1
+            """,
+            "src/repro/child.py": """
+                from repro.base import Base
+
+                class Child(Base):
+                    def run(self):
+                        return self.helper()
+            """,
+        })
+        pairs = {(e.caller, e.callee) for e in graph.edges}
+        assert ("repro.child.Child.run", "repro.base.Base.helper") in pairs
+
+    def test_typed_receiver_and_attribute_walk(self, tmp_path):
+        graph = self._graph(tmp_path, {
+            "src/repro/svc.py": """
+                class Service:
+                    def ping(self):
+                        return 1
+            """,
+            "src/repro/app.py": """
+                from repro.svc import Service
+
+                class App:
+                    def __init__(self):
+                        self.svc = Service()
+
+                    def go(self):
+                        return self.svc.ping()
+
+                def direct(svc: Service):
+                    return svc.ping()
+            """,
+        })
+        pairs = {(e.caller, e.callee) for e in graph.edges}
+        assert ("repro.app.App.go", "repro.svc.Service.ping") in pairs
+        assert ("repro.app.direct", "repro.svc.Service.ping") in pairs
+
+    def test_functools_partial_bindings(self, tmp_path):
+        graph = self._graph(tmp_path, {
+            "src/repro/util.py": """
+                from functools import partial
+
+                def helper(x):
+                    return x
+
+                bound = partial(helper, 1)
+            """,
+            "src/repro/a.py": """
+                from functools import partial
+                from repro.util import bound, helper
+
+                def module_level():
+                    return bound()
+
+                def function_local():
+                    f = partial(helper, 2)
+                    return f()
+            """,
+        })
+        pairs = {(e.caller, e.callee) for e in graph.edges}
+        assert ("repro.a.module_level", "repro.util.helper") in pairs
+        assert ("repro.a.function_local", "repro.util.helper") in pairs
+
+
+# ---------------------------------------------------------------------------
+# RP105 — transitive wall clock
+# ---------------------------------------------------------------------------
+
+_CHAIN = {
+    "src/repro/c.py": """
+        import time
+
+        def leaf():
+            return time.time()
+    """,
+    "src/repro/b.py": """
+        from repro.c import leaf
+
+        def middle():
+            return leaf()
+    """,
+    "src/repro/a.py": """
+        from repro.b import middle
+
+        def top():
+            return middle()
+    """,
+}
+
+
+class TestTransitiveWallClock:
+    def test_three_deep_chain_reports_full_path(self, tmp_path):
+        report = flow_report(make_project(tmp_path, _CHAIN))
+        assert rule_ids(report) == ["RP105", "RP105"]
+        by_path = {f.path: f for f in report.findings}
+        top = by_path["src/repro/a.py"]
+        assert "a.top -> b.middle -> c.leaf" in top.message
+        assert "time.time" in top.message
+        assert "src/repro/c.py:5" in top.message
+        middle = by_path["src/repro/b.py"]
+        assert "b.middle -> c.leaf" in middle.message
+
+    def test_direct_source_is_not_double_reported(self, tmp_path):
+        # leaf() has the clock read itself: RP101's finding, not RP105's.
+        report = flow_report(make_project(tmp_path, _CHAIN))
+        assert not any(f.path == "src/repro/c.py" for f in report.findings)
+
+    def test_clean_tree_has_no_findings(self, tmp_path):
+        root = make_project(tmp_path, {
+            "src/repro/a.py": """
+                def pure(x):
+                    return x + 1
+            """,
+        })
+        assert rule_ids(flow_report(root)) == []
+
+    def test_sink_suppression_shields_upstream_callers(self, tmp_path):
+        files = dict(_CHAIN)
+        files["src/repro/b.py"] = """
+            from repro.c import leaf
+
+            def middle():
+                return leaf()  # reprolint: disable=RP105 — profiling boundary, sim mode never reaches it
+        """
+        report = flow_report(make_project(tmp_path, files))
+        assert rule_ids(report) == []
+        hits = [f for f in report.suppressed if f.rule_id == "RP105"]
+        assert len(hits) == 1
+        assert hits[0].path == "src/repro/b.py"
+        assert hits[0].suppress_reason is not None
+
+    def test_origin_suppression_kills_the_whole_cone(self, tmp_path):
+        files = dict(_CHAIN)
+        files["src/repro/c.py"] = """
+            import time
+
+            def leaf():
+                return time.time()  # reprolint: disable=RP101,RP105 — measures real latency by design
+        """
+        report = flow_report(make_project(tmp_path, files))
+        assert rule_ids(report) == []
+        assert any(
+            f.rule_id == "RP105" and f.path == "src/repro/c.py"
+            for f in report.suppressed
+        )
+
+
+# ---------------------------------------------------------------------------
+# RP110 — RNG seed provenance
+# ---------------------------------------------------------------------------
+
+class TestRngProvenance:
+    def test_literal_seed_at_mint_is_flagged(self, tmp_path):
+        root = make_project(tmp_path, {
+            "src/repro/rng.py": """
+                import numpy as np
+
+                def make():
+                    return np.random.default_rng(42)
+            """,
+        })
+        report = flow_report(root, enabled=["RP110"])
+        assert rule_ids(report) == ["RP110"]
+        assert "hardcoded literal 42" in report.findings[0].message
+
+    def test_literal_traced_through_parameter_chain(self, tmp_path):
+        root = make_project(tmp_path, {
+            "src/repro/rng.py": """
+                import numpy as np
+
+                def make(seed):
+                    return np.random.default_rng(seed)
+            """,
+            "src/repro/use.py": """
+                from repro.rng import make
+
+                def bad():
+                    return make(42)
+            """,
+        })
+        report = flow_report(root)
+        # The call site is reported exactly once: RP110 owns it, RP111
+        # must not double-report the same literal.
+        assert rule_ids(report) == ["RP110"]
+        finding = report.findings[0]
+        assert finding.path == "src/repro/use.py"
+        assert "use.bad -> rng.make" in finding.message
+        assert "hardcoded literal 42" in finding.message
+
+    def test_sanctioned_provenance_is_clean(self, tmp_path):
+        root = make_project(tmp_path, {
+            "src/repro/rng.py": """
+                import numpy as np
+
+                SEED = 7
+
+                def from_bank(bank):
+                    return np.random.default_rng(bank.child_seed("x"))
+
+                def from_attr(self_like):
+                    return np.random.default_rng(self_like.seed)
+
+                def from_constant():
+                    return np.random.default_rng(SEED)
+
+                def derived(base, k):
+                    return np.random.default_rng(base.seed + 97 * k)
+            """,
+        })
+        assert rule_ids(flow_report(root, enabled=["RP110"])) == []
+
+    def test_unused_parameter_seed_is_clean(self, tmp_path):
+        # A seed parameter nobody binds stays a demand, not a finding.
+        root = make_project(tmp_path, {
+            "src/repro/rng.py": """
+                import numpy as np
+
+                def make(seed):
+                    return np.random.default_rng(seed)
+            """,
+        })
+        assert rule_ids(flow_report(root, enabled=["RP110"])) == []
+
+
+# ---------------------------------------------------------------------------
+# RP111 — hardcoded seed at a call site
+# ---------------------------------------------------------------------------
+
+class TestHardcodedSeedArgs:
+    def test_keyword_literal_into_project_class(self, tmp_path):
+        root = make_project(tmp_path, {
+            "src/repro/model.py": """
+                class Forest:
+                    def __init__(self, n, random_state=None):
+                        self.n = n
+                        self.random_state = random_state
+            """,
+            "src/repro/train.py": """
+                from repro.model import Forest
+
+                def fit():
+                    return Forest(10, random_state=7)
+            """,
+        })
+        report = flow_report(root, enabled=["RP111"])
+        assert rule_ids(report) == ["RP111"]
+        assert "hardcoded seed 7" in report.findings[0].message
+        assert report.findings[0].path == "src/repro/train.py"
+
+    def test_positional_literal_into_seed_param(self, tmp_path):
+        root = make_project(tmp_path, {
+            "src/repro/gen.py": """
+                def stream(seed):
+                    return seed
+            """,
+            "src/repro/use.py": """
+                from repro.gen import stream
+
+                def go():
+                    return stream(3)
+            """,
+        })
+        report = flow_report(root, enabled=["RP111"])
+        assert rule_ids(report) == ["RP111"]
+
+    def test_defaults_and_derived_values_are_exempt(self, tmp_path):
+        root = make_project(tmp_path, {
+            "src/repro/model.py": """
+                class Forest:
+                    def __init__(self, n=5, random_state=7):
+                        self.n = n
+                        self.random_state = random_state
+            """,
+            "src/repro/train.py": """
+                from repro.model import Forest
+
+                def default_applies():
+                    return Forest(10)
+
+                def derived(bank):
+                    return Forest(10, random_state=bank.child_seed("m"))
+            """,
+        })
+        assert rule_ids(flow_report(root, enabled=["RP111"])) == []
+
+    def test_unresolved_external_callee_is_not_flagged(self, tmp_path):
+        root = make_project(tmp_path, {
+            "src/repro/train.py": """
+                import sklearn.ensemble as ens
+
+                def fit():
+                    return ens.RandomForestClassifier(random_state=0)
+            """,
+        })
+        assert rule_ids(flow_report(root, enabled=["RP111"])) == []
+
+
+# ---------------------------------------------------------------------------
+# RP210 — simnet purity
+# ---------------------------------------------------------------------------
+
+class TestSimnetPurity:
+    def test_direct_io_in_simnet(self, tmp_path):
+        root = make_project(tmp_path, {
+            "src/repro/simnet/store.py": """
+                def persist(path, data):
+                    with open(path, "w") as handle:
+                        handle.write(data)
+            """,
+        })
+        report = flow_report(root, enabled=["RP210"])
+        assert rule_ids(report) == ["RP210"]
+        assert "open" in report.findings[0].message
+
+    def test_transitive_impurity_reached_from_simnet(self, tmp_path):
+        root = make_project(tmp_path, {
+            "src/repro/disk.py": """
+                def dump(path, data):
+                    with open(path, "w") as handle:
+                        handle.write(data)
+            """,
+            "src/repro/simnet/crawl.py": """
+                from repro.disk import dump
+
+                def snapshot(path, page):
+                    dump(path, page)
+            """,
+        })
+        report = flow_report(root, enabled=["RP210"])
+        assert rule_ids(report) == ["RP210"]
+        finding = report.findings[0]
+        # Flagged at the simnet call site, not inside the non-simnet helper.
+        assert finding.path == "src/repro/simnet/crawl.py"
+        assert "simnet.crawl.snapshot -> disk.dump" in finding.message
+
+    def test_global_write_in_simnet(self, tmp_path):
+        root = make_project(tmp_path, {
+            "src/repro/simnet/state.py": """
+                _COUNTER = 0
+
+                def bump():
+                    global _COUNTER
+                    _COUNTER = _COUNTER + 1
+            """,
+        })
+        report = flow_report(root, enabled=["RP210"])
+        assert rule_ids(report) == ["RP210"]
+        assert "module global" in report.findings[0].message
+
+    def test_impurity_outside_simnet_is_allowed(self, tmp_path):
+        root = make_project(tmp_path, {
+            "src/repro/export.py": """
+                def dump(path, data):
+                    with open(path, "w") as handle:
+                        handle.write(data)
+            """,
+        })
+        assert rule_ids(flow_report(root, enabled=["RP210"])) == []
+
+
+# ---------------------------------------------------------------------------
+# Incremental cache
+# ---------------------------------------------------------------------------
+
+class TestSummaryCache:
+    def test_warm_run_is_byte_identical_and_hits_cache(self, tmp_path):
+        root = make_project(tmp_path, _CHAIN)
+        cache_path = tmp_path / "cache.json"
+
+        cold = FlowEngine(root, cache=SummaryCache(cache_path))
+        cold_report = cold.run()
+        assert cold.cache.hits == 0 and cold.cache.misses == 3
+
+        warm = FlowEngine(root, cache=SummaryCache(cache_path))
+        warm_report = warm.run()
+        assert warm.cache.hits == 3 and warm.cache.misses == 0
+        assert warm_report.render_json() == cold_report.render_json()
+
+    def test_edit_invalidates_only_that_file(self, tmp_path):
+        root = make_project(tmp_path, _CHAIN)
+        cache_path = tmp_path / "cache.json"
+        FlowEngine(root, cache=SummaryCache(cache_path)).run()
+
+        # Fix the leak; the edited file must miss, the others must hit.
+        (root / "src/repro/c.py").write_text("def leaf():\n    return 1\n")
+        engine = FlowEngine(root, cache=SummaryCache(cache_path))
+        report = engine.run()
+        assert engine.cache.misses == 1 and engine.cache.hits == 2
+        assert rule_ids(report) == []
+
+    def test_corrupt_cache_falls_back_to_cold(self, tmp_path):
+        root = make_project(tmp_path, _CHAIN)
+        cache_path = tmp_path / "cache.json"
+        cache_path.write_text("{not json")
+        engine = FlowEngine(root, cache=SummaryCache(cache_path))
+        report = engine.run()
+        assert rule_ids(report) == ["RP105", "RP105"]
+
+
+# ---------------------------------------------------------------------------
+# Baseline & ratchet (through the CLI, for the exit-code contract)
+# ---------------------------------------------------------------------------
+
+class TestBaselineRatchet:
+    def _cli(self, root, *extra):
+        return lint_main([
+            str(root / "src"), "--project-root", str(root), "--no-cache",
+            *extra,
+        ])
+
+    def test_baselined_findings_pass_new_ones_fail(self, tmp_path, capsys):
+        root = make_project(tmp_path, _CHAIN)
+        baseline = root / "lint-baseline.json"
+
+        # Snapshot the existing debt, then ratchet against it: clean.
+        assert self._cli(root, "--write-baseline") == 0
+        assert baseline.exists()
+        assert self._cli(root, "--ratchet") == 0
+        out = capsys.readouterr().out
+        assert "baselined" in out
+
+        # A new violation is a regression: the ratchet must fail.
+        (root / "src/repro/fresh.py").write_text(
+            "import time\n\ndef now():\n    return time.time()\n"
+        )
+        assert self._cli(root, "--ratchet") == 2
+        out = capsys.readouterr().out
+        # Only the regression is an active finding; old debt stays baselined.
+        assert "fresh.py" in out
+
+    def test_missing_baseline_is_empty(self, tmp_path, capsys):
+        root = make_project(tmp_path, _CHAIN)
+        assert self._cli(root, "--ratchet") == 2
+
+    def test_corrupt_baseline_is_an_internal_error(self, tmp_path, capsys):
+        root = make_project(tmp_path, _CHAIN)
+        (root / "lint-baseline.json").write_text('{"schema": "bogus"}')
+        assert self._cli(root, "--ratchet") == 3
+
+
+# ---------------------------------------------------------------------------
+# Graph dump + run_lint integration
+# ---------------------------------------------------------------------------
+
+class TestGraphDumpAndIntegration:
+    def test_graph_dump_json_round_trips(self, tmp_path, capsys):
+        root = make_project(tmp_path, _CHAIN)
+        rc = lint_main([
+            str(root / "src"), "--project-root", str(root), "--no-cache",
+            "--graph-dump", "json",
+        ])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro.lint.flow/callgraph.v1"
+        edges = {(e["from"], e["to"]) for e in payload["edges"]}
+        assert ("repro.a.top", "repro.b.middle") in edges
+        assert ("repro.b.middle", "repro.c.leaf") in edges
+        assert set(payload["nodes"]) >= {"repro.a.top", "repro.b.middle"}
+
+    def test_graph_dump_dot_names_edges(self, tmp_path, capsys):
+        root = make_project(tmp_path, _CHAIN)
+        rc = lint_main([
+            str(root / "src"), "--project-root", str(root), "--no-cache",
+            "--graph-dump", "dot",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert '"repro.a.top" -> "repro.b.middle"' in out
+        assert out.strip().startswith("digraph")
+
+    def test_run_lint_merges_flow_findings(self, tmp_path):
+        root = make_project(tmp_path, _CHAIN)
+        with_flow = run_lint([root / "src"], project_root=root)
+        assert "RP105" in rule_ids(with_flow)
+        assert "RP101" in rule_ids(with_flow)  # per-file pass still runs
+        without = run_lint([root / "src"], project_root=root, flow=False)
+        assert "RP105" not in rule_ids(without)
