@@ -154,6 +154,37 @@ def serve_consistency(document: Any) -> List[str]:
     return errors
 
 
+def cache_consistency(document: Any) -> List[str]:
+    """Cross-counter invariants for the feature-cache / batch counters.
+
+    The snapshot-keyed caches (``features.cache.*``, ``preprocess.cache.*``)
+    and the batched classify path (``classify.batch.*``) appear in both
+    campaign and serve exports. Their invariants hold at any point in a
+    run, not only after a drain:
+
+    * an entry must be inserted (a miss) before it can be evicted;
+    * every counted batch holds at least one row.
+    """
+    counters = document.get("metrics", {}).get("counters", {})
+    errors: List[str] = []
+    for cache in ("features.cache", "preprocess.cache"):
+        evicted = counters.get(f"{cache}.evicted", 0)
+        misses = counters.get(f"{cache}.miss", 0)
+        if evicted > misses:
+            errors.append(
+                f"cache: {cache}.evicted={evicted} exceeds "
+                f"{cache}.miss={misses} (evictions require prior inserts)"
+            )
+    calls = counters.get("classify.batch.calls", 0)
+    rows = counters.get("classify.batch.rows", 0)
+    if calls > rows:
+        errors.append(
+            f"cache: classify.batch.calls={calls} exceeds "
+            f"classify.batch.rows={rows} (batches cannot be empty)"
+        )
+    return errors
+
+
 def main(argv: List[str]) -> int:
     if len(argv) not in (2, 3):
         print(__doc__)
@@ -163,7 +194,11 @@ def main(argv: List[str]) -> int:
     document = json.loads(document_path.read_text(encoding="utf-8"))
     schema = json.loads(schema_path.read_text(encoding="utf-8"))
 
-    errors = validate(document, schema) + serve_consistency(document)
+    errors = (
+        validate(document, schema)
+        + serve_consistency(document)
+        + cache_consistency(document)
+    )
     if errors:
         for error in errors:
             print(f"INVALID {document_path}: {error}")

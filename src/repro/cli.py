@@ -43,6 +43,16 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     world = CampaignWorld(config, train_samples_per_class=args.train_samples)
     result = world.run(verbose=args.verbose)
     print(f"observations={result.observations} detections={result.detections}")
+    counters = world.instr.metrics.counters()
+    cache_hits = counters.get("preprocess.cache.hit", 0)
+    cache_lookups = cache_hits + counters.get("preprocess.cache.miss", 0)
+    if cache_lookups:
+        print(
+            f"feature cache: {cache_hits / cache_lookups * 100:.1f}% hit rate "
+            f"({cache_lookups} lookups); "
+            f"classify batches: {counters.get('classify.batch.calls', 0)} calls / "
+            f"{counters.get('classify.batch.rows', 0)} rows"
+        )
     print()
     print(render_table3(build_table3(result.timelines)))
     print()
@@ -202,6 +212,9 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     print(f"degraded fraction  "
           f"{payload['admission']['degraded_fraction'] * 100:.1f}%")
     print(f"mean batch size    {payload['batching']['mean_batch_size']:.1f}")
+    feature_cache = payload["feature_cache"]
+    print(f"feature cache      {feature_cache['hit_rate'] * 100:5.1f}% hit "
+          f"({feature_cache['hits']} hits / {feature_cache['misses']} misses)")
 
     out = Path(args.out)
     out.parent.mkdir(parents=True, exist_ok=True)

@@ -128,10 +128,22 @@ class FreePhish:
         self._c_unreachable = metrics.counter("framework.unreachable")
         self._c_detections = metrics.counter("framework.detections")
         self._c_reports_filed = metrics.counter("framework.reports_filed")
+        self._c_batch_calls = metrics.counter("classify.batch.calls")
+        self._c_batch_rows = metrics.counter("classify.batch.rows")
+        self._h_batch_size = self.instr.histogram("classify.batch.size")
         self.stats = FrameworkStats(metrics)
 
     def step(self, now: int) -> List[DetectionRecord]:
-        """One polling cycle at time ``now``; returns fresh detections."""
+        """One polling cycle at time ``now``; returns fresh detections.
+
+        The cycle is batched: one preprocessing pass collects every
+        reachable page, the classifier scores them as a **single** feature
+        matrix (one ``predict_proba`` call per tick), and the positives are
+        then reported in arrival order. Batch scoring is elementwise per
+        row, and reports only take effect at daily housekeeping, so
+        detections and probabilities are identical to the sequential
+        per-observation cycle.
+        """
         instr = self.instr
         instr.set_time(now)
         fresh: List[DetectionRecord] = []
@@ -140,20 +152,36 @@ class FreePhish:
                 observations = self.streaming.poll(now)
             self._c_polls.inc()
             self._c_observations.inc(len(observations))
+
+            eligible = []
             for observation in observations:
                 if observation.is_fwb:
                     self._c_fwb_observations.inc()
                 elif self.fwb_only:
                     continue
-                with instr.span("framework.preprocess"):
+                eligible.append(observation)
+
+            pages: List[ProcessedPage] = []
+            kept: List[StreamObservation] = []
+            with instr.span("framework.preprocess"):
+                for observation in eligible:
                     page = self.preprocessor.process(
                         observation.url, now, keep=False
                     )
-                if page is None:
-                    self._c_unreachable.inc()
-                    continue
-                with instr.span("framework.classify"):
-                    prediction = self.classifier.classify_page(page)
+                    if page is None:
+                        self._c_unreachable.inc()
+                        continue
+                    pages.append(page)
+                    kept.append(observation)
+
+            with instr.span("framework.classify"):
+                predictions = self.classifier.classify_pages(pages)
+                if pages:
+                    self._c_batch_calls.inc()
+                    self._c_batch_rows.inc(len(pages))
+                    self._h_batch_size.observe(len(pages))
+
+            for observation, page, prediction in zip(kept, pages, predictions):
                 if prediction.label != 1:
                     continue
                 record = DetectionRecord(

@@ -3,20 +3,36 @@
 Stores a full snapshot of each streamed website (source + rendered
 signature, the stand-in for a screenshot) and extracts the classifier's
 feature set. Unreachable URLs are dropped, mirroring the real pipeline.
+
+Re-observations are memoized: each processed page is cached under its
+:func:`~repro.core.features.snapshot_key` content hash, so observing a URL
+whose markup has not changed (the monitor re-checks every tracked URL for
+days) skips HTML parsing and feature extraction entirely. The cache is a
+bounded LRU; a page whose markup changed — or that became unreachable —
+never hits it, because the cheap ``fetch`` runs first and the key covers
+the fetched markup. See ``docs/PERFORMANCE.md``.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 import numpy as np
 
 from ..errors import FetchError
+from ..obs.instrument import NULL_INSTRUMENTATION, Instrumentation
 from ..simnet.browser import Browser, PageSnapshot
 from ..simnet.url import URL
 from ..simnet.web import Web
-from .features import FWB_FEATURE_NAMES, FeatureExtractor, PageFeatures
+from .features import (
+    DEFAULT_FEATURE_CACHE_SIZE,
+    FWB_FEATURE_NAMES,
+    FeatureExtractor,
+    PageFeatures,
+    snapshot_key,
+)
 
 
 @dataclass
@@ -74,17 +90,61 @@ class Preprocessor:
         web: Web,
         browser: Optional[Browser] = None,
         extractor: Optional[FeatureExtractor] = None,
+        instrumentation: Optional[Instrumentation] = None,
+        cache_size: int = DEFAULT_FEATURE_CACHE_SIZE,
     ) -> None:
         self.web = web
         self.browser = browser if browser is not None else Browser(web)
-        self.extractor = extractor if extractor is not None else FeatureExtractor()
+        self._instr = (
+            instrumentation if instrumentation is not None else NULL_INSTRUMENTATION
+        )
+        self.extractor = (
+            extractor
+            if extractor is not None
+            else FeatureExtractor(instrumentation=self._instr)
+        )
         #: Snapshot archive, as the paper stores full website snapshots.
+        #: Only populated by ``keep=True`` calls — never by the cache.
         self.archive: List[ProcessedPage] = []
+        self.cache_size = cache_size
+        self._page_cache: "OrderedDict[str, ProcessedPage]" = OrderedDict()
+        self._c_hit = self._instr.counter("preprocess.cache.hit")
+        self._c_miss = self._instr.counter("preprocess.cache.miss")
+        self._c_evicted = self._instr.counter("preprocess.cache.evicted")
+
+    @property
+    def cache_len(self) -> int:
+        """Number of processed pages currently memoized."""
+        return len(self._page_cache)
 
     def process(self, url: URL, now: int, keep: bool = True) -> Optional[ProcessedPage]:
-        """Snapshot and featurize one URL; ``None`` if it cannot be fetched."""
+        """Snapshot and featurize one URL; ``None`` if it cannot be fetched.
+
+        Fetch-first fast path: the markup fetch is cheap, so it runs
+        first; if the fetched content hashes to an already-processed page,
+        the cached :class:`ProcessedPage` is returned without re-parsing.
+        An unreachable or changed page can therefore never be served
+        stale. On a miss the probe's :class:`~repro.simnet.browser.FetchResult`
+        is handed to ``snapshot_from``, so the markup is fetched once, not
+        twice.
+        """
         try:
-            snapshot = self.browser.snapshot(url, now)
+            if self.cache_size > 0:
+                result = self.browser.fetch(url, now)
+                if not result.ok:
+                    # snapshot() raises SiteRemovedError for this status.
+                    return None
+                key = snapshot_key(url, result.markup)
+                cached = self._page_cache.get(key)
+                if cached is not None:
+                    self._page_cache.move_to_end(key)
+                    self._c_hit.inc()
+                    if keep:
+                        self.archive.append(cached)
+                    return cached
+                snapshot = self.browser.snapshot_from(result, now)
+            else:
+                snapshot = self.browser.snapshot(url, now)
         except FetchError:
             return None
         features = self.extractor.extract(url, snapshot)
@@ -95,6 +155,12 @@ class Preprocessor:
             features=features,
             fwb_name=service.name if service is not None else None,
         )
+        if self.cache_size > 0:
+            self._c_miss.inc()
+            self._page_cache[snapshot_key(url, snapshot.markup)] = page
+            while len(self._page_cache) > self.cache_size:
+                self._page_cache.popitem(last=False)
+                self._c_evicted.inc()
         if keep:
             self.archive.append(page)
         return page
@@ -133,7 +199,12 @@ class Preprocessor:
         return PreprocessBatch(pages=pages, skipped=skipped)
 
     def feature_matrix(self, pages: List[ProcessedPage]) -> np.ndarray:
-        """Stacked FWB-augmented feature vectors for a batch."""
+        """One ``(n, d)`` float64 matrix of FWB-augmented feature vectors.
+
+        This is the batch hand-off to the classifier: both the framework's
+        per-tick batch and the serving MicroBatcher score exactly one such
+        matrix per flush.
+        """
         if not pages:
-            return np.empty((0, len(FWB_FEATURE_NAMES)))
+            return np.empty((0, len(FWB_FEATURE_NAMES)), dtype=np.float64)
         return np.vstack([page.fwb_vector for page in pages])

@@ -629,29 +629,41 @@ class ExportSchemaRule(Rule):
 
 
 class ServeCacheKeyRule(Rule):
-    """RP304: serve-layer cache keys must come from ``simnet.url``
-    normalization (``cache_key`` / ``domain_key``), never raw strings."""
+    """RP304: cache keys must come from a sanctioned producer — the
+    ``simnet.url`` normalizers (``cache_key`` / ``domain_key``) in the
+    serve layer, ``snapshot_key`` in the feature-cache layer — never raw
+    strings."""
 
     id = "RP304"
     name = "raw-cache-key"
     scopes = LIBRARY_ONLY
     summary = (
         "two spellings of one URL (case, default path, fragment) must share "
-        "a cache line; a raw-string key in repro/serve bypasses the "
-        "simnet.url parse and silently splits or misses entries."
+        "a cache line; a raw-string key in repro/serve or the feature-cache "
+        "layer bypasses cache_key()/domain_key()/snapshot_key() and "
+        "silently splits or misses entries."
     )
 
     #: Methods on cache-like receivers whose first argument is a key/URL.
     _KEYED_METHODS = frozenset({
         "get", "put", "lookup", "store", "evict",
         "invalidate", "invalidate_blocked", "invalidate_takedown",
+        "move_to_end",
     })
     #: Receiver-name fragments that mark a cache-like object.
     _CACHE_HINTS = ("cache", "tier", "exact", "domain", "negative")
 
-    @staticmethod
-    def _in_serve_layer(ctx) -> bool:
-        return "serve" in ctx.rel_path.replace("\\", "/").split("/")
+    #: Modules whose caches are keyed by ``snapshot_key`` — the
+    #: feature-cache layer added alongside the serve tiers.
+    _FEATURE_CACHE_MODULES = frozenset({
+        "src/repro/core/features.py",
+        "src/repro/core/preprocess.py",
+    })
+
+    @classmethod
+    def _in_scope(cls, ctx) -> bool:
+        rel = ctx.rel_path.replace("\\", "/")
+        return "serve" in rel.split("/") or rel in cls._FEATURE_CACHE_MODULES
 
     def _is_raw_key(self, node: ast.expr) -> bool:
         """String built without going through the URL parser."""
@@ -673,17 +685,24 @@ class ServeCacheKeyRule(Rule):
                 return True
         return False
 
+    def _cache_receiver(self, expr: ast.expr) -> Optional[str]:
+        """Dotted receiver name when ``expr`` names a cache-like object."""
+        receiver = dotted_name(expr)
+        if receiver is None:
+            return None
+        lowered = receiver.lower()
+        if not any(hint in lowered for hint in self._CACHE_HINTS):
+            return None
+        return receiver
+
     def check_Call(self, node: ast.Call, ctx) -> None:
-        if not self._in_serve_layer(ctx):
+        if not self._in_scope(ctx):
             return
         func = node.func
         if not isinstance(func, ast.Attribute) or func.attr not in self._KEYED_METHODS:
             return
-        receiver = dotted_name(func.value)
+        receiver = self._cache_receiver(func.value)
         if receiver is None:
-            return
-        lowered = receiver.lower()
-        if not any(hint in lowered for hint in self._CACHE_HINTS):
             return
         candidates = list(node.args[:1]) + [
             kw.value for kw in node.keywords if kw.arg in ("key", "url")
@@ -693,9 +712,26 @@ class ServeCacheKeyRule(Rule):
                 ctx.report(
                     self, candidate,
                     f"raw string passed as cache key to {receiver}."
-                    f"{func.attr}(); serve-layer keys must come from "
-                    "cache_key()/domain_key() (simnet.url normalization)",
+                    f"{func.attr}(); cache keys must come from "
+                    "cache_key()/domain_key() (serve layer) or "
+                    "snapshot_key() (feature cache)",
                 )
+
+    def check_Subscript(self, node: ast.Subscript, ctx) -> None:
+        """``cache["raw"]`` indexing bypasses the keyed methods but is the
+        same bug: the entry lands under an unnormalized key."""
+        if not self._in_scope(ctx):
+            return
+        receiver = self._cache_receiver(node.value)
+        if receiver is None:
+            return
+        if self._is_raw_key(node.slice):
+            ctx.report(
+                self, node.slice,
+                f"raw string used as subscript key on {receiver}; cache "
+                "keys must come from cache_key()/domain_key() (serve "
+                "layer) or snapshot_key() (feature cache)",
+            )
 
 
 # ---------------------------------------------------------------------------

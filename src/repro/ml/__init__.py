@@ -11,10 +11,13 @@ provides those learners:
 * :mod:`repro.ml.lgbm` — histogram-binned, leaf-wise boosting (LightGBM-style);
 * :mod:`repro.ml.forest` — random forests;
 * :mod:`repro.ml.stacking` — the two-layer StackModel;
+* :mod:`repro.ml.flat` — flattened, vectorized batch inference over any of
+  the tree ensembles above (bit-identical to the per-row reference walks);
 * :mod:`repro.ml.metrics`, :mod:`repro.ml.crossval` — evaluation utilities.
 """
 
 from .tree import DecisionTreeRegressor, DecisionTreeClassifier
+from .flat import FlatForest
 from .boosting import GradientBoostingClassifier
 from .xgb import XGBoostClassifier
 from .lgbm import LightGBMClassifier
@@ -34,6 +37,7 @@ from .importance import FeatureImportance, permutation_importance
 __all__ = [
     "DecisionTreeRegressor",
     "DecisionTreeClassifier",
+    "FlatForest",
     "GradientBoostingClassifier",
     "XGBoostClassifier",
     "LightGBMClassifier",

@@ -14,6 +14,7 @@ from typing import List, Optional
 import numpy as np
 
 from ..errors import NotFittedError, TrainingError
+from .flat import FlatForest
 from .tree import DecisionTreeRegressor
 
 
@@ -66,6 +67,7 @@ class GradientBoostingClassifier:
         self._trees: List[DecisionTreeRegressor] = []
         self._base_score = 0.0
         self._n_features = 0
+        self._flat: Optional[FlatForest] = None
         #: Per-stage validation log-loss when early stopping is active.
         self.validation_curve: List[float] = []
 
@@ -77,6 +79,7 @@ class GradientBoostingClassifier:
         if not np.isin(np.unique(y), (0.0, 1.0)).all():
             raise TrainingError("GradientBoostingClassifier expects binary 0/1 labels")
         self._n_features = X.shape[1]
+        self._flat = None
         rng = np.random.default_rng(self.random_state)
 
         validation_X = validation_y = None
@@ -139,7 +142,23 @@ class GradientBoostingClassifier:
                     break
         return self
 
+    def _compiled(self) -> FlatForest:
+        """The flattened ensemble, compiled lazily after ``fit``."""
+        if self._flat is None:
+            self._flat = FlatForest.from_trees(
+                [tree._root for tree in self._trees],
+                n_features=self._n_features,
+            )
+        return self._flat
+
     def decision_function(self, X: np.ndarray) -> np.ndarray:
+        if not self._trees:
+            raise NotFittedError("GradientBoostingClassifier is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        return self._compiled().accumulate(X, self._base_score, self.learning_rate)
+
+    def decision_function_reference(self, X: np.ndarray) -> np.ndarray:
+        """Per-row reference walk; bit-identical to :meth:`decision_function`."""
         if not self._trees:
             raise NotFittedError("GradientBoostingClassifier is not fitted")
         X = np.asarray(X, dtype=np.float64)
@@ -150,6 +169,10 @@ class GradientBoostingClassifier:
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
         p = _sigmoid(self.decision_function(X))
+        return np.column_stack([1.0 - p, p])
+
+    def predict_proba_reference(self, X: np.ndarray) -> np.ndarray:
+        p = _sigmoid(self.decision_function_reference(X))
         return np.column_stack([1.0 - p, p])
 
     def predict(self, X: np.ndarray) -> np.ndarray:

@@ -21,6 +21,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..errors import NotFittedError, TrainingError
+from .flat import FlatForest
 
 
 def _sigmoid(z: np.ndarray) -> np.ndarray:
@@ -228,6 +229,7 @@ class LightGBMClassifier:
         self._binner: Optional[_Binner] = None
         self._trees: List[_LGBMTree] = []
         self._base_score = 0.0
+        self._flat: Optional[FlatForest] = None
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "LightGBMClassifier":
         X = np.asarray(X, dtype=np.float64)
@@ -237,6 +239,7 @@ class LightGBMClassifier:
         if not np.isin(np.unique(y), (0.0, 1.0)).all():
             raise TrainingError("LightGBMClassifier expects binary 0/1 labels")
 
+        self._flat = None
         self._binner = _Binner(self.max_bins).fit(X)
         binned = self._binner.transform(X)
         positive = min(max(float(y.mean()), 1e-6), 1 - 1e-6)
@@ -258,7 +261,29 @@ class LightGBMClassifier:
             self._trees.append(tree)
         return self
 
+    def _compiled(self) -> FlatForest:
+        """The flattened ensemble over *binned* features, compiled lazily.
+
+        Thresholds are the trees' integer ``threshold_bin`` values; bin
+        indices are far below 2**53, so comparing them as float64 is exact.
+        """
+        if self._flat is None:
+            self._flat = FlatForest.from_trees(
+                [tree.root for tree in self._trees]
+            )
+        return self._flat
+
     def decision_function(self, X: np.ndarray) -> np.ndarray:
+        if not self._trees or self._binner is None:
+            raise NotFittedError("LightGBMClassifier is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        binned = self._binner.transform(X)
+        return self._compiled().accumulate(
+            binned, self._base_score, self.learning_rate
+        )
+
+    def decision_function_reference(self, X: np.ndarray) -> np.ndarray:
+        """Per-row reference walk; bit-identical to :meth:`decision_function`."""
         if not self._trees or self._binner is None:
             raise NotFittedError("LightGBMClassifier is not fitted")
         X = np.asarray(X, dtype=np.float64)
@@ -270,6 +295,10 @@ class LightGBMClassifier:
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
         p = _sigmoid(self.decision_function(X))
+        return np.column_stack([1.0 - p, p])
+
+    def predict_proba_reference(self, X: np.ndarray) -> np.ndarray:
+        p = _sigmoid(self.decision_function_reference(X))
         return np.column_stack([1.0 - p, p])
 
     def predict(self, X: np.ndarray) -> np.ndarray:

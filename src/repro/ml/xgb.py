@@ -17,6 +17,7 @@ from typing import List, Optional
 import numpy as np
 
 from ..errors import NotFittedError, TrainingError
+from .flat import FlatForest
 
 
 def _sigmoid(z: np.ndarray) -> np.ndarray:
@@ -168,6 +169,8 @@ class XGBoostClassifier:
         self.random_state = random_state
         self._trees: List[_XGBTree] = []
         self._base_score = 0.0
+        self._n_features = 0
+        self._flat: Optional[FlatForest] = None
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "XGBoostClassifier":
         X = np.asarray(X, dtype=np.float64)
@@ -176,6 +179,8 @@ class XGBoostClassifier:
             raise TrainingError("bad shapes for X/y")
         if not np.isin(np.unique(y), (0.0, 1.0)).all():
             raise TrainingError("XGBoostClassifier expects binary 0/1 labels")
+        self._n_features = X.shape[1]
+        self._flat = None
         rng = np.random.default_rng(self.random_state)
 
         positive = min(max(float(y.mean()), 1e-6), 1 - 1e-6)
@@ -206,7 +211,23 @@ class XGBoostClassifier:
             self._trees.append(tree)
         return self
 
+    def _compiled(self) -> FlatForest:
+        """The flattened ensemble, compiled lazily after ``fit``."""
+        if self._flat is None:
+            self._flat = FlatForest.from_trees(
+                [tree.root for tree in self._trees],
+                n_features=self._n_features,
+            )
+        return self._flat
+
     def decision_function(self, X: np.ndarray) -> np.ndarray:
+        if not self._trees:
+            raise NotFittedError("XGBoostClassifier is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        return self._compiled().accumulate(X, self._base_score, self.learning_rate)
+
+    def decision_function_reference(self, X: np.ndarray) -> np.ndarray:
+        """Per-row reference walk; bit-identical to :meth:`decision_function`."""
         if not self._trees:
             raise NotFittedError("XGBoostClassifier is not fitted")
         X = np.asarray(X, dtype=np.float64)
@@ -217,6 +238,10 @@ class XGBoostClassifier:
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
         p = _sigmoid(self.decision_function(X))
+        return np.column_stack([1.0 - p, p])
+
+    def predict_proba_reference(self, X: np.ndarray) -> np.ndarray:
+        p = _sigmoid(self.decision_function_reference(X))
         return np.column_stack([1.0 - p, p])
 
     def predict(self, X: np.ndarray) -> np.ndarray:

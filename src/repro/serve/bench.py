@@ -154,6 +154,9 @@ def run_serve_bench(
     sim_latency = instrumentation.metrics.histogram(
         "serve.latency_minutes"
     ).snapshot()
+    preprocess_hits = counters.get("preprocess.cache.hit", 0)
+    preprocess_misses = counters.get("preprocess.cache.miss", 0)
+    preprocess_lookups = preprocess_hits + preprocess_misses
 
     payload = {
         "schema": BENCH_SCHEMA,
@@ -217,6 +220,18 @@ def run_serve_bench(
                 if batch_sizes["count"]
                 else 0.0
             ),
+        },
+        "feature_cache": {
+            "hits": preprocess_hits,
+            "misses": preprocess_misses,
+            "evicted": counters.get("preprocess.cache.evicted", 0),
+            "hit_rate": (
+                preprocess_hits / preprocess_lookups
+                if preprocess_lookups
+                else 0.0
+            ),
+            "extractor_hits": counters.get("features.cache.hit", 0),
+            "extractor_misses": counters.get("features.cache.miss", 0),
         },
         "speedup_vs_single_url": (
             served_rps / baseline_rps if baseline_rps > 0 else 0.0

@@ -116,7 +116,7 @@ class VerdictService:
             instrumentation if instrumentation is not None else NULL_INSTRUMENTATION
         )
         self._instr = instr
-        self.preprocessor = Preprocessor(web, self.browser)
+        self.preprocessor = Preprocessor(web, self.browser, instrumentation=instr)
         self.cache = cache if cache is not None else TieredVerdictCache(
             instrumentation=instr
         )

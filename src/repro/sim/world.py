@@ -129,7 +129,9 @@ class CampaignWorld:
         )
 
         # FreePhish.
-        self.preprocessor = Preprocessor(self.web, self.browser)
+        self.preprocessor = Preprocessor(
+            self.web, self.browser, instrumentation=self.instr
+        )
         classifier_model = (
             RandomForestClassifier(
                 n_estimators=40, max_depth=10, random_state=self.config.seed

@@ -52,7 +52,6 @@ class PageSnapshot:
     fetched_at: int
     markup: str
     document: Document
-    signature: VisualSignature
     certificate: Optional[Certificate]
     #: (iframe src URL, markup of the framed page) for same-session resolvable
     #: frames; unresolvable/external-dead frames carry empty markup.
@@ -61,6 +60,22 @@ class PageSnapshot:
     downloads: List[FileAsset] = field(default_factory=list)
     #: External link-out targets (the §5.5 two-step vector).
     outbound_links: List[URL] = field(default_factory=list)
+    #: Lazily rendered visual signature (see the ``signature`` property).
+    _signature: Optional[VisualSignature] = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def signature(self) -> VisualSignature:
+        """The rendered :class:`~repro.webdoc.VisualSignature`.
+
+        Rendered on first access and memoized: only the visual baselines
+        (VisualPhishNet, PhishIntention) consume it, so the classifier hot
+        path never pays the rendering cost.
+        """
+        if self._signature is None:
+            self._signature = render_signature(self.document)
+        return self._signature
 
 
 class Browser:
@@ -102,7 +117,18 @@ class Browser:
         Raises :class:`~repro.errors.FetchError` if the page cannot be
         retrieved (the streaming pipeline skips such URLs).
         """
-        result = self.fetch(url, now)
+        return self.snapshot_from(self.fetch(url, now), now)
+
+    def snapshot_from(self, result: FetchResult, now: int) -> PageSnapshot:
+        """Complete a snapshot from an already-fetched :class:`FetchResult`.
+
+        The preprocessing cache probes with a cheap :meth:`fetch` before
+        deciding whether to parse; on a cache miss this entry point
+        finishes the snapshot without fetching the markup a second time.
+        The simulated web is deterministic at fixed ``now``, so the result
+        is identical to :meth:`snapshot` on ``result.url``.
+        """
+        url = result.url
         if not result.ok:
             raise SiteRemovedError(f"cannot snapshot {url} (status {result.status})")
         if result.download is not None:
@@ -113,7 +139,6 @@ class Browser:
                 fetched_at=now,
                 markup="",
                 document=document,
-                signature=render_signature(document),
                 certificate=result.certificate,
                 downloads=[result.download],
             )
@@ -124,7 +149,6 @@ class Browser:
             fetched_at=now,
             markup=result.markup,
             document=document,
-            signature=render_signature(document),
             certificate=result.certificate,
         )
         self._resolve_iframes(snapshot, now)

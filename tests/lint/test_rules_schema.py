@@ -206,3 +206,48 @@ class TestRP304RawCacheKey:
             "  # reprolint: disable=RP304 — synthetic fixture key\n"
         )
         assert rule_ids(lint_snippet(source, path=SERVE_PATH)) == []
+
+
+FEATURES_PATH = "src/repro/core/features.py"
+PREPROCESS_PATH = "src/repro/core/preprocess.py"
+
+
+class TestRP304FeatureCacheLayer:
+    """The feature-cache layer (core/features.py, core/preprocess.py) is
+    in RP304 scope: its keys must come from ``snapshot_key()``."""
+
+    def test_raw_subscript_store_flagged(self):
+        source = "self._cache[f'{url}:{markup}'] = features\n"
+        assert rule_ids(lint_snippet(source, path=FEATURES_PATH)) == ["RP304"]
+
+    def test_raw_key_in_preprocess_flagged(self):
+        source = "self._page_cache[str(url)] = page\n"
+        assert rule_ids(lint_snippet(source, path=PREPROCESS_PATH)) == ["RP304"]
+
+    def test_raw_move_to_end_flagged(self):
+        source = "self._cache.move_to_end(str(url))\n"
+        assert rule_ids(lint_snippet(source, path=FEATURES_PATH)) == ["RP304"]
+
+    def test_snapshot_key_clean(self):
+        source = (
+            "key = snapshot_key(url, markup)\n"
+            "self._cache[key] = features\n"
+            "self._cache.move_to_end(key)\n"
+            "cached = self._page_cache[key]\n"
+        )
+        assert rule_ids(lint_snippet(source, path=FEATURES_PATH)) == []
+        assert rule_ids(lint_snippet(source, path=PREPROCESS_PATH)) == []
+
+    def test_other_core_modules_out_of_scope(self):
+        source = "self._cache['raw'] = features\n"
+        assert rule_ids(
+            lint_snippet(source, path="src/repro/core/classifier.py")
+        ) == []
+
+    def test_serve_layer_subscript_flagged(self):
+        source = "self.exact_cache['https://a.weebly.com/'] = verdict\n"
+        assert rule_ids(lint_snippet(source, path=SERVE_PATH)) == ["RP304"]
+
+    def test_non_cache_subscript_ignored(self):
+        source = "self._archive['raw'] = page\n"
+        assert rule_ids(lint_snippet(source, path=PREPROCESS_PATH)) == []
